@@ -1,0 +1,48 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables/figures end to end
+and writes the rendered rows/series to ``benchmarks/output/<name>.txt``
+(also echoed to stdout when pytest runs with ``-s``).
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — simulation scale (default 1/32; use 1/64 for a
+  quick pass, 1/16 for a higher-fidelity one).
+* ``REPRO_BENCH_FULL`` — set to 1 to run every workload in the sweeps
+  that default to representative subsets.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def bench_scale() -> float:
+    """Simulation scale for the benchmark runs."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", 1 / 32))
+
+
+def full_sweeps() -> bool:
+    """Whether subset-based studies should use all 24 workloads."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture
+def save_report():
+    """Persist a rendered figure/table and echo it."""
+    def _save(name: str, text: str) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,23 @@
+"""Bench: Sec. VI's automation claim — inferred annotations suffice.
+
+Record-and-replay annotation inference must give CPElide the same elision
+decisions and performance as the hand-written Listing 1/2 hints.
+"""
+
+from repro.experiments import inference
+
+from conftest import bench_scale, run_once
+
+
+def test_annotation_inference(benchmark, save_report):
+    result = run_once(benchmark,
+                      lambda: inference.run(scale=bench_scale()))
+    save_report("inference", inference.report(result))
+
+    # Performance equivalence within noise.
+    assert 0.99 <= result.geomean_ratio() <= 1.01
+    for name, (hand, inferred, hand_ops, inf_ops, acc) in result.rows.items():
+        # The recorder reproduces every access mode...
+        assert acc == 1.0, name
+        # ...and the elision engine makes equivalent decisions.
+        assert abs(hand_ops - inf_ops) <= 2, name

@@ -1,0 +1,27 @@
+"""Bench: the capacity-crossover mechanism behind the Sec. V-C exceptions.
+
+CPElide's benefit requires the aggregate L2 to hold the reused working
+set; growing the footprint past it must shrink the benefit (the paper's
+Backprop/Hotspot3D/SSSP 2-chiplet exceptions).
+"""
+
+from repro.experiments import capacity
+
+from conftest import bench_scale, run_once
+
+
+def test_capacity_crossover(benchmark, save_report):
+    result = run_once(benchmark,
+                      lambda: capacity.run(scale=bench_scale()))
+    save_report("capacity", capacity.report(result))
+
+    assert result.benefit_shrinks_with_pressure()
+    # The sweet spot: working set above the L3 but inside the aggregate
+    # L2 (footprint 1.0x for Hotspot3D at paper ratios).
+    peak = result.peak_factor()
+    assert result.points[peak][0] >= 0.6, "peak should fit the L2s"
+    assert result.speedup_at(peak) > 1.3
+    # Under 4x pressure a large part of the peak gain is gone.
+    assert result.speedup_at(4.0) < result.speedup_at(peak) * 0.9
+    # Miss rate grows with pressure.
+    assert result.points[4.0][2] > result.points[0.5][2]

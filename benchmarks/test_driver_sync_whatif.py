@@ -1,0 +1,21 @@
+"""Bench: the Sec. VI driver-managed-synchronization what-if.
+
+Moving the elision mechanism to the GPU driver forces a host round trip
+per kernel launch; prior work [28, 79, 140] shows this adds significant
+latency — the paper's argument for housing CPElide in the global CP.
+"""
+
+from repro.experiments import driver_sync
+
+from conftest import bench_scale, run_once
+
+
+def test_driver_sync_whatif(benchmark, save_report):
+    result = run_once(benchmark,
+                      lambda: driver_sync.run(scale=bench_scale()))
+    save_report("driver_sync", driver_sync.report(result))
+
+    # Driver-resident elision must hurt, and hurt substantially.
+    assert result.geomean_slowdown_percent() > 10.0
+    for name in result.cycles:
+        assert result.driver_slowdown(name) >= 1.0, name

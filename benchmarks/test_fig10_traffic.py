@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 10 — 4-chiplet interconnect traffic in flits.
+
+Paper headlines: CPElide −14% vs Baseline and −17% vs HMG total flits;
+CPElide moves 37% less L2-L3 traffic than write-through HMG; HMG carries
+more remote traffic than CPElide due to 4-line-granularity invalidations.
+"""
+
+from repro.experiments import fig10
+
+from conftest import bench_scale, run_once
+
+
+def test_fig10_traffic(benchmark, save_report):
+    result = run_once(benchmark, lambda: fig10.run(scale=bench_scale()))
+    save_report("fig10", fig10.report(result))
+
+    cpe = result.geomean_normalized("cpelide")
+    hmg = result.geomean_normalized("hmg")
+    # CPElide cuts total traffic by double digits (paper: 14%).
+    assert 0.60 <= cpe <= 0.95, f"CPElide normalized traffic {cpe:.3f}"
+    # CPElide moves less traffic than HMG on average (paper: 17% less).
+    assert cpe < hmg
+
+    # Component shape: CPElide's L2-L3 traffic is far below HMG's
+    # (paper: 37% less — write-through pushes every store down a level).
+    l2l3_ratio = result.geomean_component_ratio("l2_l3", "cpelide", "hmg")
+    assert l2l3_ratio < 0.85, f"CPElide/HMG L2-L3 ratio {l2l3_ratio:.3f}"
+
+    # L1-L2 traffic is essentially protocol-independent.
+    l1_ratio = result.component_ratio("l1_l2", "cpelide", "baseline")
+    assert 0.95 <= l1_ratio <= 1.05

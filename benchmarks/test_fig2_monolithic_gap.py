@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 2 — perf lost versus an equivalent monolithic GPU.
+
+Paper headline: the 4-chiplet Baseline loses 54% on average versus the
+(infeasible) monolithic GPU with the same CUs and aggregate L2, in line
+with prior work's 29-45%.
+"""
+
+from repro.experiments import fig2
+
+from conftest import bench_scale, run_once
+
+
+def test_fig2_monolithic_gap(benchmark, save_report):
+    result = run_once(benchmark, lambda: fig2.run(scale=bench_scale()))
+    report = fig2.report(result)
+    save_report("fig2", report)
+
+    # Shape assertions: the chiplet GPU loses substantially on average —
+    # the paper measures 54%, prior work 29-45%; we accept that band.
+    loss = result.average_loss_percent
+    assert 25.0 <= loss <= 85.0, f"avg loss {loss:.1f}% out of band"
+    # No workload should be dramatically *faster* on the chiplet GPU.
+    assert all(s > 0.9 for s in result.slowdowns.values())

@@ -1,0 +1,37 @@
+"""Bench: regenerate Fig. 9 — 4-chiplet memory-subsystem energy.
+
+Paper headlines: CPElide −14% vs Baseline and −11% vs HMG on average;
+L1/LDS energy unchanged by either scheme; the differences come from NOC
+traffic and DRAM accesses.
+"""
+
+from repro.experiments import fig9
+from repro.metrics.report import geomean
+
+from conftest import bench_scale, run_once
+
+
+def test_fig9_energy(benchmark, save_report):
+    result = run_once(benchmark, lambda: fig9.run(scale=bench_scale()))
+    save_report("fig9", fig9.report(result))
+
+    cpe = result.geomean_normalized("cpelide")
+    hmg = result.geomean_normalized("hmg")
+    # CPElide reduces energy by double digits (paper: 14%).
+    assert 0.70 <= cpe <= 0.97, f"CPElide normalized energy {cpe:.3f}"
+    # CPElide uses less energy than HMG on average (paper: 11% less).
+    assert cpe < hmg
+
+    # Component shapes: L1 and LDS energy are protocol-independent.
+    for name, per in result.breakdowns.items():
+        base = per["baseline"]
+        for protocol in ("cpelide", "hmg"):
+            assert per[protocol]["l1d"] == base["l1d"]
+            assert per[protocol]["lds"] == base["lds"]
+
+    # The savings come from NOC + DRAM (Sec. V-B Energy Consumption).
+    noc_dram_saving = geomean(
+        (per["cpelide"]["noc"] + per["cpelide"]["dram"] + 1e-18)
+        / (per["baseline"]["noc"] + per["baseline"]["dram"] + 1e-18)
+        for per in result.breakdowns.values())
+    assert noc_dram_saving < 1.0

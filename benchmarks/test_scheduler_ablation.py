@@ -1,0 +1,25 @@
+"""Bench: locality-aware scheduling in conjunction with CPElide (Sec. VII).
+
+Narrow kernels steered to the chiplets that hold their data turn remote
+reads local; combined with CPElide's elision the reuse becomes L2 hits.
+"""
+
+from repro.experiments import scheduler_ablation
+
+from conftest import bench_scale, run_once
+
+
+def test_scheduler_ablation(benchmark, save_report):
+    result = run_once(benchmark,
+                      lambda: scheduler_ablation.run(scale=bench_scale()))
+    save_report("scheduler_ablation", scheduler_ablation.report(result))
+
+    # Steering helps both protocols and reduces remote traffic.
+    for protocol in ("baseline", "cpelide"):
+        assert result.locality_speedup(protocol) >= 1.0
+        assert result.remote_flits[protocol]["locality"] \
+            <= result.remote_flits[protocol]["static"]
+    # CPElide benefits at least as much: the steered reuse survives its
+    # elided boundaries, while the Baseline re-fetches it anyway.
+    assert result.locality_speedup("cpelide") \
+        >= result.locality_speedup("baseline") * 0.98

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table I (simulated baseline GPU parameters)."""
+
+from repro.experiments import table1
+
+from conftest import run_once
+
+
+def test_table1_config(benchmark, save_report):
+    config = run_once(benchmark, table1.run)
+    report = table1.report(config)
+    save_report("table1", report)
+    assert "1801 MHz" in report
+    assert "768 GB/s" in report

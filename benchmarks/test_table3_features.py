@@ -1,0 +1,34 @@
+"""Bench: regenerate Table III and cross-check the implementable claims."""
+
+from repro.coherence.base import make_protocol
+from repro.experiments import table3
+from repro.gpu.config import GPUConfig
+from repro.gpu.device import Device
+from repro.memory.cache import WritePolicy
+
+from conftest import run_once
+
+
+def test_table3_features(benchmark, save_report):
+    features = run_once(benchmark, table3.run)
+    report = table3.report(features)
+    save_report("table3", report)
+
+    # Cross-check claims against our implementations.
+    config = GPUConfig(num_chiplets=4, scale=1 / 64)
+    # "No coherence protocol changes": CPElide uses Baseline's exact data
+    # path (subclass relationship).
+    from repro.coherence.cpelide import CPElideProtocol
+    from repro.coherence.viper import BaselineProtocol
+    assert issubclass(CPElideProtocol, BaselineProtocol)
+    assert features["No coherence protocol changes"]["CPElide"]
+
+    # "No L2 cache structure changes": CPElide keeps the write-back L2;
+    # HMG switches it to write-through.
+    device = Device(config)
+    make_protocol("cpelide", config, device)
+    assert device.l2s[0].policy is WritePolicy.WRITE_BACK
+    device = Device(config)
+    make_protocol("hmg", config, device)
+    assert device.l2s[0].policy is WritePolicy.WRITE_THROUGH
+    assert not features["No L2 cache structure changes"]["HMG"]

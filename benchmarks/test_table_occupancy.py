@@ -1,0 +1,26 @@
+"""Bench: the Sec. IV-D table-occupancy claim.
+
+The paper's workloads reach at most 11 Chiplet Coherence Table entries
+and never overflow the 64-entry table; our 24 models must satisfy the
+same bound.
+"""
+
+from repro.experiments import occupancy
+
+from conftest import bench_scale, run_once
+
+
+def test_table_occupancy(benchmark, save_report):
+    profiles = run_once(benchmark,
+                        lambda: occupancy.run(scale=bench_scale()))
+    save_report("occupancy", occupancy.report(profiles))
+
+    for name, profile in profiles.items():
+        assert profile.never_overflows, f"{name} overflowed the table"
+        assert profile.peak_entries <= 11, (
+            f"{name} peaked at {profile.peak_entries} entries "
+            "(paper max: 11)")
+    # At least one workload exercises several simultaneous structures.
+    assert max(p.peak_entries for p in profiles.values()) >= 5
+    # Dynamic kernel counts stay within Table II's reported band.
+    assert max(p.num_kernels for p in profiles.values()) <= 510

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Chiplet-count sensitivity (Fig. 8's x-axis, Sec. IV-E).
+
+Runs one memory-bound stencil (Hotspot3D) on 2, 4, 6, and 7 chiplets
+under strong scaling — the same work divided across more chiplets — and
+reports each protocol's speedup over the same-size Baseline. At 2
+chiplets the aggregate L2 cannot hold Hotspot3D's 24 MB working set, so
+CPElide's benefit collapses; from 4 chiplets up the working set fits and
+the benefit appears and grows (Sec. V-C).
+
+Run:  python examples/chiplet_scaling.py
+"""
+
+from repro import GPUConfig, Simulator, build_workload
+from repro.metrics.report import format_table
+
+CHIPLET_COUNTS = (2, 4, 6, 7)
+APP = "hotspot3d"
+
+
+def main() -> None:
+    rows = []
+    for chiplets in CHIPLET_COUNTS:
+        config = GPUConfig(num_chiplets=chiplets, scale=1 / 32)
+        cycles = {}
+        for protocol in ("baseline", "hmg", "cpelide"):
+            res = Simulator(config, protocol).run(
+                build_workload(APP, config))
+            cycles[protocol] = res.wall_cycles
+        footprint = build_workload(APP, config).footprint_bytes()
+        rows.append([
+            chiplets,
+            config.aggregate_l2_size / footprint,
+            cycles["baseline"] / cycles["cpelide"],
+            cycles["baseline"] / cycles["hmg"],
+        ])
+    print(format_table(
+        ["chiplets", "aggregate L2 / working set",
+         "CPElide speedup", "HMG speedup"],
+        rows,
+        title=f"{APP}: strong scaling across chiplet counts "
+              "(normalized per count)"))
+    print("\nCPElide's gains need the aggregate L2 to hold the working "
+          "set — exactly the\n2-chiplet exception the paper reports for "
+          "Hotspot3D (Sec. V-C).")
+
+
+if __name__ == "__main__":
+    main()

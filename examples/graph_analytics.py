@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Graph analytics on a chiplet GPU: where read-only reuse lives.
+
+Runs the three Pannotia/Rodinia graph workloads of the paper (Color,
+SSSP, BFS). Their iterative kernels reread the graph's CSR structure
+every round — read-only data that the conservative Baseline invalidates
+at every kernel boundary. CPElide's Chiplet Coherence Table sees the
+structures stay in `Valid` (reads by every chiplet keep clean copies)
+and elides the acquires, preserving inter-kernel reuse (Sec. V-A).
+
+The script also shows HMG's trade-off: it caches the roaming neighbour
+lookups locally, but stores invalidate the cached copies, the 4-line
+directory entries over-invalidate, and remote caching evicts local data
+(Sec. V-B).
+
+Run:  python examples/graph_analytics.py
+"""
+
+from repro import GPUConfig, Simulator, build_workload
+from repro.metrics.report import format_table
+
+GRAPH_APPS = ("color", "sssp", "bfs")
+PROTOCOLS = ("baseline", "hmg", "cpelide")
+
+
+def main() -> None:
+    config = GPUConfig(num_chiplets=4, scale=1 / 32)
+    rows = []
+    for app in GRAPH_APPS:
+        cycles = {}
+        details = {}
+        for protocol in PROTOCOLS:
+            res = Simulator(config, protocol).run(build_workload(app, config))
+            cycles[protocol] = res.wall_cycles
+            details[protocol] = res
+        cpe = details["cpelide"].metrics.total_sync()
+        hmg = details["hmg"].metrics.total_sync()
+        rows.append([
+            app,
+            cycles["baseline"] / cycles["cpelide"],
+            cycles["baseline"] / cycles["hmg"],
+            cpe.acquires_elided,
+            hmg.dir_invalidations,
+            details["hmg"].metrics.total_accesses().dram_writes,
+            details["cpelide"].metrics.total_accesses().dram_writes,
+        ])
+    print(format_table(
+        ["graph app", "CPElide speedup", "HMG speedup",
+         "acquires elided (CPElide)", "dir invalidations (HMG)",
+         "DRAM writes (HMG)", "DRAM writes (CPElide)"],
+        rows,
+        title="Graph analytics on a 4-chiplet GPU (vs Baseline)"))
+    print("\nCPElide preserves the read-only CSR reuse by eliding "
+          "acquires; HMG pays\nwrite-through DRAM traffic and directory "
+          "invalidation churn for its remote caching.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Recurrent-network inference: producer-consumer reuse across timesteps.
+
+Runs the paper's four DeepBench RNN configurations (Table II). Each
+timestep's gate GEMMs reread the same weight slices (inter-kernel reuse
+CPElide preserves by eliding the invalidations) and the previous hidden
+state produced by the last timestep (producer-consumer reuse). The small
+activations are read by every chiplet — the remote-read locality that
+lets HMG slightly outperform CPElide here, since CPElide never caches
+remote reads locally (Sec. V-B).
+
+Run:  python examples/ml_inference.py
+"""
+
+from repro import GPUConfig, Simulator, build_workload
+from repro.metrics.report import format_table
+
+RNNS = ("rnn-gru-small", "rnn-gru-large", "rnn-lstm-small", "rnn-lstm-large")
+
+
+def main() -> None:
+    config = GPUConfig(num_chiplets=4, scale=1 / 32)
+    rows = []
+    for name in RNNS:
+        res = {}
+        for protocol in ("baseline", "hmg", "cpelide"):
+            res[protocol] = Simulator(config, protocol).run(
+                build_workload(name, config))
+        base = res["baseline"].wall_cycles
+        cpe_acc = res["cpelide"].metrics.total_accesses()
+        hmg_acc = res["hmg"].metrics.total_accesses()
+        rows.append([
+            name,
+            base / res["cpelide"].wall_cycles,
+            base / res["hmg"].wall_cycles,
+            cpe_acc.l2_remote_hits,   # CPElide rereads activations remotely
+            hmg_acc.l2_remote_hits,   # HMG caches them after first touch
+        ])
+    print(format_table(
+        ["RNN config", "CPElide speedup", "HMG speedup",
+         "remote hits (CPElide)", "remote hits (HMG)"],
+        rows,
+        title="DeepBench RNN inference on a 4-chiplet GPU (vs Baseline)"))
+    print("\nHMG converts the repeated remote activation reads into local "
+          "hits, which is\nwhy the paper measures it ~3% ahead of CPElide "
+          "on the RNNs — the one workload\nclass where remote-read caching "
+          "pays off.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Multi-stream concurrent jobs (Sec. VI).
+
+Two independent jobs run concurrently on one 4-chiplet GPU, each bound to
+two chiplets with `hipSetDevice` (the stream-to-chiplet binding of
+Sec. III-B). Concurrent kernels contend for shared caching resources, and
+conservative implicit synchronization gets *more* expensive — CPElide's
+per-chiplet tracking elides the synchronization each stream doesn't need.
+
+Run:  python examples/multi_stream_jobs.py
+"""
+
+from repro import GPUConfig, HipRuntime
+from repro.metrics.report import format_table
+
+ITERATIONS = 12
+ELEMENTS = 262144
+
+
+def run_two_jobs(protocol: str):
+    config = GPUConfig(num_chiplets=4, scale=1 / 32)
+    rt = HipRuntime(config, protocol=protocol)
+
+    # Stream 0 -> chiplets {0,1}; stream 1 -> chiplets {2,3}.
+    rt.hip_set_device(stream=0, chiplets=[0, 1])
+    rt.hip_set_device(stream=1, chiplets=[2, 3])
+
+    nbytes = int(ELEMENTS * 4 * config.scale)  # scale with the caches
+    for stream in (0, 1):
+        a = rt.hip_malloc(f"job{stream}_in", nbytes)
+        c = rt.hip_malloc(f"job{stream}_out", nbytes)
+        for _ in range(ITERATIONS):
+            k = rt.kernel(f"job{stream}_step", compute_intensity=2.0,
+                          stream=stream)
+            rt.hip_set_access_mode(k, a, "R")
+            rt.hip_set_access_mode(k, c, "R/W")
+            rt.hip_launch_kernel(k)
+
+    return rt.run("two-jobs")
+
+
+def main() -> None:
+    results = {p: run_two_jobs(p) for p in ("baseline", "hmg", "cpelide")}
+    base = results["baseline"]
+    rows = []
+    for name, res in results.items():
+        rows.append([
+            name,
+            res.wall_cycles,
+            base.wall_cycles / res.wall_cycles,
+            res.metrics.total_cycles / res.wall_cycles,  # overlap factor
+        ])
+    print(format_table(
+        ["config", "wall cycles", "speedup vs baseline", "stream overlap x"],
+        rows, title="Two concurrent jobs, each on 2 of 4 chiplets"))
+    print("\nThe wall clock is the slower stream's clock: both jobs run "
+          "concurrently, and\nCPElide avoids synchronizing chiplets the "
+          "other job owns.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Listing 1 through the HIP-style runtime.
+
+Builds the `square` kernel (C[i] = A[i]^2), annotates its data structures
+with `hipSetAccessMode`, relaunches it as an iterative workload, and
+compares the conservative Baseline against CPElide and HMG on a 4-chiplet
+GPU. CPElide elides every acquire/release except the final flush, so the
+relaunches hit the per-chiplet L2s.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GPUConfig, HipRuntime
+from repro.metrics.report import format_table
+
+ITERATIONS = 20
+ELEMENTS = 524288  # Table II input size
+
+
+def run_square(protocol: str):
+    """Listing 1, iterated, on the given coherence configuration."""
+    config = GPUConfig(num_chiplets=4, scale=1 / 32)
+    rt = HipRuntime(config, protocol=protocol)
+
+    # The simulator's `scale` knob shrinks the caches; scale the
+    # allocations identically so working-set-to-cache ratios match a
+    # real 4 MB-arrays-vs-8 MB-L2s run.
+    nbytes = int(ELEMENTS * 4 * config.scale)
+    a_d = rt.hip_malloc("A", nbytes)
+    c_d = rt.hip_malloc("C", nbytes)
+
+    for _ in range(ITERATIONS):
+        square = rt.kernel("square", compute_intensity=1.0)
+        # Listing 1: hipSetAccessMode(square, C_d, 'R/W');
+        #            hipSetAccessMode(square, A_d, 'R');
+        rt.hip_set_access_mode(square, c_d, "R/W")
+        rt.hip_set_access_mode(square, a_d, "R")
+        rt.hip_launch_kernel(square)  # hipLaunchKernelGGL(...)
+
+    return rt.run("square-quickstart")
+
+
+def main() -> None:
+    results = {p: run_square(p) for p in ("baseline", "hmg", "cpelide")}
+    base = results["baseline"]
+
+    rows = []
+    for name, res in results.items():
+        sync = res.metrics.total_sync()
+        rows.append([
+            name,
+            base.wall_cycles / res.wall_cycles,
+            res.metrics.total_accesses().l2_miss_rate,
+            res.metrics.total_traffic().total / base.metrics.total_traffic().total,
+            sync.releases_elided + sync.acquires_elided,
+        ])
+    print(format_table(
+        ["config", "speedup vs baseline", "L2 miss rate",
+         "traffic (norm.)", "syncs elided"],
+        rows, title=f"square x{ITERATIONS} on a 4-chiplet GPU"))
+    print("\nCPElide keeps the arrays resident in the per-chiplet L2s "
+          "across relaunches;\nthe Baseline invalidates and flushes them "
+          "at every kernel boundary.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (which build an editable wheel) fail; this shim
+lets ``pip install -e .`` fall back to the classic develop-mode path.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""CPElide reproduction: efficient multi-chiplet GPU implicit synchronization.
+
+A from-scratch Python reproduction of *CPElide: Efficient Multi-Chiplet GPU
+Implicit Synchronization* (MICRO 2024): a trace-driven MCM-GPU simulator
+(caches, interconnect, command processors), the CPElide Chiplet Coherence
+Table and elision engine, the Baseline and HMG comparators, 24 workload
+models, and the experiment harnesses regenerating every figure and table
+of the paper's evaluation.
+
+Quick start::
+
+    from repro import GPUConfig, Simulator, build_workload
+
+    config = GPUConfig(num_chiplets=4, scale=1 / 32)
+    workload = build_workload("babelstream", config)
+    for protocol in ("baseline", "hmg", "cpelide"):
+        result = Simulator(config, protocol).run(workload)
+        print(protocol, result.wall_cycles)
+"""
+
+from repro.coherence import (
+    BaselineProtocol,
+    CPElideProtocol,
+    HMGProtocol,
+    MonolithicProtocol,
+    make_protocol,
+)
+from repro.core import ChipletCoherenceTable, ChipletState, ElisionEngine
+from repro.cp import AccessMode, KernelPacket, Placement
+from repro.energy import EnergyModel
+from repro.gpu import Device, GPUConfig, SimulationResult, Simulator, monolithic_equivalent
+from repro.hip import HipRuntime
+from repro.metrics import RunMetrics, format_table, geomean
+from repro.timing import TimingModel
+from repro.workloads import (
+    HIGH_REUSE,
+    LOW_REUSE,
+    WORKLOAD_NAMES,
+    Kernel,
+    KernelArg,
+    Workload,
+    build_workload,
+)
+from repro.cp.dispatcher import KernelResources, LocalDispatcher
+from repro.analysis import (
+    bar_chart,
+    grouped_bar_chart,
+    profile_table_occupancy,
+    trace_sync_ops,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessMode",
+    "BaselineProtocol",
+    "CPElideProtocol",
+    "ChipletCoherenceTable",
+    "ChipletState",
+    "Device",
+    "ElisionEngine",
+    "EnergyModel",
+    "GPUConfig",
+    "HIGH_REUSE",
+    "HMGProtocol",
+    "HipRuntime",
+    "Kernel",
+    "KernelArg",
+    "KernelPacket",
+    "LOW_REUSE",
+    "MonolithicProtocol",
+    "Placement",
+    "RunMetrics",
+    "SimulationResult",
+    "Simulator",
+    "TimingModel",
+    "WORKLOAD_NAMES",
+    "KernelResources",
+    "LocalDispatcher",
+    "Workload",
+    "bar_chart",
+    "build_workload",
+    "grouped_bar_chart",
+    "profile_table_occupancy",
+    "trace_sync_ops",
+    "format_table",
+    "geomean",
+    "make_protocol",
+    "monolithic_equivalent",
+    "__version__",
+]

@@ -1,0 +1,133 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — the registered workloads and protocols.
+* ``run <workload>`` — simulate one workload under one or more protocols
+  and print a comparison table.
+* ``trace <workload>`` — print the sync-operation trace (which
+  acquires/releases fired, and why).
+* ``occupancy [<workload> ...]`` — Chiplet Coherence Table occupancy.
+
+Figures and tables have their own CLI: ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.analysis.occupancy import profile_suite
+from repro.analysis.sync_trace import trace_sync_ops
+from repro.experiments.occupancy import report as occupancy_report
+from repro.gpu.config import GPUConfig
+from repro.gpu.sim import Simulator
+from repro.metrics.report import format_table
+from repro.workloads.suite import EXTRA_WORKLOADS, WORKLOAD_NAMES, build_workload
+
+PROTOCOL_NAMES = ("baseline", "cpelide", "cpelide-range", "cpelide-driver",
+                  "hmg", "hmg-wb", "nosync")
+
+
+def _config(args) -> GPUConfig:
+    return GPUConfig(num_chiplets=args.chiplets, scale=args.scale)
+
+
+def cmd_list(args) -> int:
+    print("workloads (Table II):")
+    for name in WORKLOAD_NAMES:
+        print(f"  {name}")
+    print("extra workloads:")
+    for name in EXTRA_WORKLOADS:
+        print(f"  {name}")
+    print("protocols:")
+    for name in PROTOCOL_NAMES:
+        print(f"  {name}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = _config(args)
+    rows: List[List[object]] = []
+    baseline_cycles = None
+    for protocol in args.protocols:
+        workload = build_workload(args.workload, config)
+        result = Simulator(config, protocol,
+                           scheduler=args.scheduler).run(workload)
+        if baseline_cycles is None:
+            baseline_cycles = result.wall_cycles
+        acc = result.metrics.total_accesses()
+        sync = result.metrics.total_sync()
+        rows.append([
+            protocol,
+            result.wall_cycles,
+            baseline_cycles / result.wall_cycles,
+            acc.l2_miss_rate,
+            result.metrics.total_traffic().total,
+            sync.acquires_elided + sync.releases_elided,
+            result.energy["total"] * 1e6,
+        ])
+    print(format_table(
+        ["protocol", "cycles", f"speedup vs {args.protocols[0]}",
+         "L2 miss rate", "flits", "syncs elided", "energy (uJ)"],
+        rows,
+        title=(f"{args.workload} on {config.num_chiplets} chiplets "
+               f"(scale {config.scale:g})")))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    config = _config(args)
+    workload = build_workload(args.workload, config)
+    trace = trace_sync_ops(workload, config, args.protocols[0])
+    print(trace.render(limit=args.limit))
+    return 0
+
+
+def cmd_occupancy(args) -> int:
+    config = _config(args)
+    names = args.workloads or None
+    print(occupancy_report(profile_suite(config, names)))
+    return 0
+
+
+def main(argv=None) -> int:
+    """Entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CPElide reproduction: simulate chiplet-GPU workloads.")
+    parser.add_argument("--scale", type=float, default=1 / 32,
+                        help="simulation scale (default 1/32)")
+    parser.add_argument("--chiplets", type=int, default=4,
+                        help="chiplet count (default 4)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and protocols")
+
+    run_p = sub.add_parser("run", help="simulate one workload")
+    run_p.add_argument("workload", choices=WORKLOAD_NAMES + EXTRA_WORKLOADS)
+    run_p.add_argument("--protocols", nargs="+", default=["baseline", "hmg",
+                                                          "cpelide"],
+                       choices=PROTOCOL_NAMES)
+    run_p.add_argument("--scheduler", default="static",
+                       choices=("static", "locality"))
+
+    trace_p = sub.add_parser("trace", help="print the sync-op trace")
+    trace_p.add_argument("workload", choices=WORKLOAD_NAMES + EXTRA_WORKLOADS)
+    trace_p.add_argument("--protocols", nargs="+", default=["cpelide"],
+                         choices=PROTOCOL_NAMES)
+    trace_p.add_argument("--limit", type=int, default=40)
+
+    occ_p = sub.add_parser("occupancy", help="coherence-table occupancy")
+    occ_p.add_argument("workloads", nargs="*",
+                       help="workload subset (default: all 24)")
+
+    args = parser.parse_args(argv)
+    handlers = {"list": cmd_list, "run": cmd_run, "trace": cmd_trace,
+                "occupancy": cmd_occupancy}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Analysis tooling: table-occupancy profiling, sync traces, charts."""
+
+from repro.analysis.occupancy import TableOccupancyProfile, profile_table_occupancy
+from repro.analysis.sync_trace import SyncEvent, SyncTrace, trace_sync_ops
+from repro.analysis.charts import bar_chart, grouped_bar_chart
+from repro.analysis.inference import (
+    compare_annotations,
+    record_kernel_annotations,
+    replay_with_inferred_annotations,
+)
+
+__all__ = [
+    "TableOccupancyProfile",
+    "profile_table_occupancy",
+    "SyncEvent",
+    "SyncTrace",
+    "trace_sync_ops",
+    "bar_chart",
+    "grouped_bar_chart",
+    "compare_annotations",
+    "record_kernel_annotations",
+    "replay_with_inferred_annotations",
+]

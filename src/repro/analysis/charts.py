@@ -1,0 +1,74 @@
+"""Terminal bar charts for the figure harnesses.
+
+The paper's Figs. 8-10 are grouped bar charts; these render as
+fixed-width Unicode bars so ``python -m repro.experiments figN`` can show
+the figure's *shape* directly in a terminal, alongside the numeric table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+FULL = "█"
+PARTIAL = " ▏▎▍▌▋▊▉"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """Render ``value`` as a bar of at most ``width`` cells."""
+    if value < 0:
+        raise ValueError(f"bar values must be >= 0, got {value}")
+    cells = value / scale * width
+    whole = int(cells)
+    if whole >= width:
+        return FULL * width
+    fraction = cells - whole
+    partial = PARTIAL[int(fraction * 8)] if fraction > 0 else ""
+    return (FULL * whole + partial).rstrip()
+
+
+def bar_chart(values: Mapping[str, float], title: str = "",
+              width: int = 40, reference: Optional[float] = None) -> str:
+    """One bar per labeled value, with an optional reference line value
+    (e.g. 1.0 for Baseline-normalized charts)."""
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    label_w = max(len(label) for label in values)
+    top = max(list(values.values())
+              + ([reference] if reference is not None else []))
+    scale = top if top > 0 else 1.0
+    lines: List[str] = [title] if title else []
+    for label, value in values.items():
+        bar = _bar(value, scale, width)
+        mark = ""
+        if reference is not None:
+            ref_cell = int(reference / scale * width)
+            if ref_cell < width and len(bar) <= ref_cell:
+                bar = bar.ljust(ref_cell) + "|"
+            mark = ""
+        lines.append(f"{label:<{label_w}} {bar} {value:.3f}{mark}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups: Mapping[str, Mapping[str, float]],
+                      title: str = "", width: int = 36,
+                      reference: Optional[float] = 1.0) -> str:
+    """Fig. 8-style chart: one group per workload, one bar per config."""
+    if not groups:
+        raise ValueError("grouped_bar_chart needs at least one group")
+    label_w = max(len(name) for per in groups.values() for name in per)
+    group_w = max(len(g) for g in groups)
+    top = max(v for per in groups.values() for v in per.values())
+    if reference is not None:
+        top = max(top, reference)
+    scale = top if top > 0 else 1.0
+    lines: List[str] = [title] if title else []
+    for group, per in groups.items():
+        for i, (name, value) in enumerate(per.items()):
+            head = group if i == 0 else ""
+            lines.append(f"{head:<{group_w}}  {name:<{label_w}} "
+                         f"{_bar(value, scale, width):<{width}} {value:.3f}")
+    if reference is not None:
+        lines.append(f"{'':<{group_w}}  {'ref':<{label_w}} "
+                     f"{'·' * int(reference / scale * width)}▏ "
+                     f"{reference:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Synchronization-operation tracing.
+
+Records every acquire/release a protocol issues across a run — which
+kernel boundary, which chiplet, and the elision engine's reason — by
+wrapping the protocol's boundary hooks. Useful for debugging workload
+annotations and for inspecting CPElide's behaviour kernel by kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.coherence.base import make_protocol
+from repro.cp.local_cp import SyncOpKind
+from repro.gpu.config import GPUConfig
+from repro.gpu.sim import SimulationResult, Simulator
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """One sync operation at one kernel boundary."""
+
+    kernel_index: int
+    kernel_name: str
+    #: "launch" (before WG dispatch) or "complete" (implicit release).
+    phase: str
+    kind: SyncOpKind
+    chiplet: int
+    reason: str
+
+    def __str__(self) -> str:
+        verb = "flush" if self.kind is SyncOpKind.RELEASE else "invalidate"
+        return (f"k{self.kernel_index:<4d} {self.kernel_name:<22s} "
+                f"{self.phase:<8s} {verb:<10s} chiplet {self.chiplet} "
+                f"[{self.reason}]")
+
+
+@dataclass
+class SyncTrace:
+    """All sync events of one run plus per-boundary elision tallies."""
+
+    workload: str
+    protocol: str
+    events: List[SyncEvent] = field(default_factory=list)
+    boundaries: int = 0
+    silent_boundaries: int = 0
+    result: Optional[SimulationResult] = None
+
+    @property
+    def silent_fraction(self) -> float:
+        """Fraction of kernel boundaries with zero sync operations —
+        CPElide's headline behaviour on iterative workloads."""
+        return (self.silent_boundaries / self.boundaries
+                if self.boundaries else 0.0)
+
+    def events_for_kernel(self, kernel_index: int) -> List[SyncEvent]:
+        """Events attached to one dynamic kernel."""
+        return [e for e in self.events if e.kernel_index == kernel_index]
+
+    def render(self, limit: Optional[int] = 40) -> str:
+        """Human-readable trace (truncated to ``limit`` events)."""
+        shown = self.events if limit is None else self.events[:limit]
+        lines = [f"sync trace: {self.workload} / {self.protocol} — "
+                 f"{len(self.events)} ops over {self.boundaries} boundaries "
+                 f"({self.silent_fraction:.0%} silent)"]
+        lines.extend(str(event) for event in shown)
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more")
+        return "\n".join(lines)
+
+
+def trace_sync_ops(workload: Workload, config: GPUConfig,
+                   protocol: str = "cpelide") -> SyncTrace:
+    """Run ``workload`` capturing every sync op the protocol issues."""
+    trace = SyncTrace(workload=workload.name, protocol=protocol)
+
+    def recording_factory(cfg, device):
+        inner = make_protocol(protocol, cfg, device)
+        launch = inner.on_kernel_launch
+        complete = inner.on_kernel_complete
+
+        def on_launch(packet, placement):
+            ops = launch(packet, placement)
+            trace.boundaries += 1
+            if not ops:
+                trace.silent_boundaries += 1
+            for op in ops:
+                trace.events.append(SyncEvent(
+                    packet.kernel_id, packet.name, "launch", op.kind,
+                    op.chiplet, op.reason))
+            return ops
+
+        def on_complete(packet, placement):
+            ops = complete(packet, placement)
+            if ops:
+                # A boundary counted silent at launch that releases at
+                # completion (the Baseline) is not silent after all.
+                if not trace.events_for_kernel(packet.kernel_id):
+                    trace.silent_boundaries -= 1
+            for op in ops:
+                trace.events.append(SyncEvent(
+                    packet.kernel_id, packet.name, "complete", op.kind,
+                    op.chiplet, op.reason))
+            return ops
+
+        inner.on_kernel_launch = on_launch
+        inner.on_kernel_complete = on_complete
+        return inner
+
+    trace.result = Simulator(config, recording_factory).run(workload)
+    return trace

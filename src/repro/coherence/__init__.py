@@ -1,0 +1,33 @@
+"""Coherence protocols for the chiplet-based GPU (Sec. IV-C).
+
+Three evaluated configurations plus two extras:
+
+* ``baseline`` — gem5's VIPER GPU coherence protocol extended for
+  chiplet GPUs: remote requests forward to the home node, remote stores
+  write through, local stores write back, and implicit synchronization
+  conservatively flushes/invalidates every chiplet's L2 at every kernel
+  boundary.
+* ``cpelide`` — Baseline's coherence/forwarding/write policies, but
+  acquires and releases are elided per the Chiplet Coherence Table.
+* ``hmg`` — the state-of-the-art HMG protocol (write-through L2s, a
+  per-chiplet home directory of 12K entries covering four lines each,
+  remote lines cached locally, sharer invalidation).
+* ``hmg-wb`` — HMG's write-back L2 variant (ablation; 13% worse geomean
+  in the paper).
+* ``monolithic`` — the infeasible monolithic GPU of Fig. 2 (single
+  chiplet; the L2 is the shared point, so no L2-level implicit sync).
+"""
+
+from repro.coherence.base import CoherenceProtocol, make_protocol
+from repro.coherence.viper import BaselineProtocol, MonolithicProtocol
+from repro.coherence.cpelide import CPElideProtocol
+from repro.coherence.hmg import HMGProtocol
+
+__all__ = [
+    "CoherenceProtocol",
+    "make_protocol",
+    "BaselineProtocol",
+    "MonolithicProtocol",
+    "CPElideProtocol",
+    "HMGProtocol",
+]

@@ -1,0 +1,114 @@
+"""Coherence protocol interface.
+
+A protocol decides (a) what synchronization happens at kernel launch and
+completion boundaries and (b) how each demand access is routed through the
+hierarchy. The device owns the caches and accounts traffic; protocols call
+its helpers.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, List
+
+from repro.cp.local_cp import SyncOp
+from repro.cp.packets import KernelPacket
+from repro.cp.wg_scheduler import Placement
+from repro.memory.cache import WritePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.gpu.config import GPUConfig
+    from repro.gpu.device import Device
+
+
+class CoherenceProtocol(abc.ABC):
+    """Behaviour that differs between Baseline, CPElide, and HMG."""
+
+    #: Registry-visible name.
+    name: str = "abstract"
+    #: L2 write policy the device should configure.
+    l2_policy: WritePolicy = WritePolicy.WRITE_BACK
+    #: Whether remotely-homed lines are cached in the requester's L2
+    #: (HMG does; Baseline/CPElide forward to the home node instead).
+    caches_remote_locally: bool = False
+
+    def __init__(self, config: "GPUConfig", device: "Device") -> None:
+        self.config = config
+        self.device = device
+
+    # ---- kernel boundary hooks -----------------------------------------
+
+    @abc.abstractmethod
+    def on_kernel_launch(self, packet: KernelPacket,
+                         placement: Placement) -> List[SyncOp]:
+        """Sync ops to execute before the kernel's WGs may dispatch."""
+
+    @abc.abstractmethod
+    def on_kernel_complete(self, packet: KernelPacket,
+                           placement: Placement) -> List[SyncOp]:
+        """Sync ops to execute when the kernel's last WG retires."""
+
+    def on_run_end(self) -> List[SyncOp]:
+        """Final device-level release so results are host-visible.
+
+        Every configuration must make the application's final output
+        globally visible; CPElide "elides all flushes and invalidations
+        except the final ones" (Sec. V-B).
+        """
+        from repro.cp.local_cp import SyncOpKind
+        return [SyncOp(SyncOpKind.RELEASE, c, reason="run-end")
+                for c in range(self.config.num_chiplets)]
+
+    # ---- demand access path ---------------------------------------------
+
+    @abc.abstractmethod
+    def access(self, chiplet: int, line: int, is_write: bool) -> None:
+        """Route one L2-visible demand access from ``chiplet``."""
+
+    # ---- overheads ---------------------------------------------------------
+
+    def launch_overhead_cycles(self, packet: KernelPacket) -> float:
+        """Protocol-specific CP-side cycles added at this launch."""
+        return 0.0
+
+    def drain_sync_counts(self):
+        """Harvest protocol-internal per-kernel sync counters (e.g. HMG's
+        directory activity). Returns a fresh
+        :class:`~repro.metrics.stats.SyncCounts`."""
+        from repro.metrics.stats import SyncCounts
+        return SyncCounts()
+
+
+def make_protocol(name: str, config: "GPUConfig",
+                  device: "Device") -> CoherenceProtocol:
+    """Instantiate a protocol by registry name."""
+    from repro.coherence.cpelide import (
+        CPElideProtocol,
+        DriverManagedCPElideProtocol,
+    )
+    from repro.coherence.hmg import HMGProtocol
+    from repro.coherence.viper import (
+        BaselineProtocol,
+        MonolithicProtocol,
+        NoSyncProtocol,
+    )
+
+    registry = {
+        "baseline": lambda: BaselineProtocol(config, device),
+        "nosync": lambda: NoSyncProtocol(config, device),
+        "cpelide": lambda: CPElideProtocol(config, device),
+        "cpelide-range": lambda: CPElideProtocol(config, device,
+                                                 range_ops=True),
+        "cpelide-driver": lambda: DriverManagedCPElideProtocol(config,
+                                                               device),
+        "hmg": lambda: HMGProtocol(config, device, write_back=False),
+        "hmg-wb": lambda: HMGProtocol(config, device, write_back=True),
+        "monolithic": lambda: MonolithicProtocol(config, device),
+    }
+    try:
+        factory = registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; choose from {sorted(registry)}"
+        ) from None
+    return factory()

@@ -1,0 +1,30 @@
+"""CPElide core: the paper's primary contribution (Sec. III).
+
+The global CP maintains a *Chiplet Coherence Table* in its private memory
+tracking, per data structure and per chiplet, a conservative coarse-grained
+estimate of what may be in each chiplet's L2 (:mod:`repro.core.table`,
+states in :mod:`repro.core.states`). At every kernel launch the elision
+engine (:mod:`repro.core.elision`) walks the kernel's argument annotations
+and generates only the per-chiplet acquires and releases that correctness
+requires, eliding the rest. Kernels touching more than the table's
+per-kernel budget of data structures are coarsened first
+(:mod:`repro.core.coarsening`).
+"""
+
+from repro.core.states import ChipletState, is_legal_transition
+from repro.core.table import ChipletCoherenceTable, TableEntry
+from repro.core.regions import AccessRegion, ranges_overlap
+from repro.core.coarsening import coarsen_regions
+from repro.core.elision import ElisionEngine, ElisionOutcome
+
+__all__ = [
+    "ChipletState",
+    "is_legal_transition",
+    "ChipletCoherenceTable",
+    "TableEntry",
+    "AccessRegion",
+    "ranges_overlap",
+    "coarsen_regions",
+    "ElisionEngine",
+    "ElisionOutcome",
+]

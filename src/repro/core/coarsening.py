@@ -1,0 +1,62 @@
+"""Coarsening data-structure labels (Sec. III-B).
+
+CPElide tracks up to 8 data structures per kernel. If a kernel accesses
+more, the global CP coarsens before inserting into the Chiplet Coherence
+Table: first it combines data structures that are contiguous in memory;
+if none are contiguous it combines the structures closest to one another
+in memory. A combined entry tracks all chiplets any constituent was
+assigned to and stores the more conservative access mode — this may cause
+extra acquire/releases (the memory between merged structures is covered
+but never accessed) but preserves correctness.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.regions import AccessRegion, merge_ranges
+from repro.cp.packets import AccessMode
+
+
+def merge_two(a: AccessRegion, b: AccessRegion) -> AccessRegion:
+    """Combine two regions into one conservative region."""
+    lo_first, hi_second = (a, b) if a.base <= b.base else (b, a)
+    mode = AccessMode.RW if (a.mode.writes or b.mode.writes) else AccessMode.R
+    chiplet_ranges = dict(a.chiplet_ranges)
+    for chiplet, rng in b.chiplet_ranges.items():
+        chiplet_ranges[chiplet] = merge_ranges(chiplet_ranges.get(chiplet), rng)
+    return AccessRegion(
+        name=f"{lo_first.name}+{hi_second.name}",
+        base=min(a.base, b.base),
+        end=max(a.end, b.end),
+        mode=mode,
+        chiplet_ranges=chiplet_ranges,
+    )
+
+
+def coarsen_regions(regions: List[AccessRegion],
+                    max_regions: int) -> List[AccessRegion]:
+    """Merge regions until at most ``max_regions`` remain.
+
+    Preference order per Sec. III-B: contiguous (or overlapping) extents
+    first, then the pair with the smallest gap in memory.
+    """
+    if max_regions <= 0:
+        raise ValueError(f"max_regions must be positive, got {max_regions}")
+    merged = sorted(regions, key=lambda r: r.base)
+    while len(merged) > max_regions:
+        # Adjacent-in-address-order pairs are the only merge candidates:
+        # merging non-adjacent pairs would cover strictly more unaccessed
+        # memory than merging the pair between them.
+        best_idx = 0
+        best_gap = None
+        for i in range(len(merged) - 1):
+            gap = merged[i].gap_to(merged[i + 1])
+            if best_gap is None or gap < best_gap:
+                best_gap = gap
+                best_idx = i
+                if gap == 0:
+                    break
+        combined = merge_two(merged[best_idx], merged[best_idx + 1])
+        merged[best_idx:best_idx + 2] = [combined]
+    return merged

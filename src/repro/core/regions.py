@@ -1,0 +1,111 @@
+"""Access regions: what one kernel does to one data structure.
+
+The elision engine converts each kernel argument annotation plus the WG
+scheduler's placement into an :class:`AccessRegion` — the data structure's
+byte extent, the access mode, and the byte range each *physical* chiplet
+will touch. Regions are also the unit the coarsening pass merges when a
+kernel exceeds the table's per-kernel data-structure budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.cp.packets import AccessMode, ArgAccess
+from repro.cp.wg_scheduler import Placement
+
+ByteRange = Tuple[int, int]
+
+
+def ranges_overlap(a: Optional[ByteRange], b: Optional[ByteRange]) -> bool:
+    """Whether two half-open byte ranges intersect (``None`` = empty)."""
+    if a is None or b is None:
+        return False
+    return a[0] < b[1] and b[0] < a[1]
+
+
+def merge_ranges(a: Optional[ByteRange], b: Optional[ByteRange]) -> Optional[ByteRange]:
+    """Smallest range covering both inputs (conservative union)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+def intersect_ranges(a: Optional[ByteRange],
+                     b: Optional[ByteRange]) -> Optional[ByteRange]:
+    """Intersection of two half-open ranges (``None`` if empty/unknown)."""
+    if a is None or b is None:
+        return None
+    lo = max(a[0], b[0])
+    hi = min(a[1], b[1])
+    return (lo, hi) if hi > lo else None
+
+
+@dataclass
+class AccessRegion:
+    """One (possibly coarsened) data structure access by one kernel.
+
+    Attributes:
+        name: Data structure name(s); coarsened regions join names with '+'.
+        base: Byte base of the covered extent.
+        end: One past the last covered byte.
+        mode: Access mode; coarsening keeps the more conservative (R/W).
+        chiplet_ranges: Physical chiplet id -> byte range that chiplet
+            touches (absent = chiplet does not touch the structure).
+    """
+
+    name: str
+    base: int
+    end: int
+    mode: AccessMode
+    chiplet_ranges: Dict[int, ByteRange] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.end <= self.base:
+            raise ValueError(f"region {self.name!r}: empty extent")
+
+    @property
+    def extent(self) -> ByteRange:
+        """The covered byte extent."""
+        return (self.base, self.end)
+
+    def overlaps_extent(self, other: "AccessRegion") -> bool:
+        """Whether the two regions' extents intersect."""
+        return ranges_overlap(self.extent, other.extent)
+
+    def gap_to(self, other: "AccessRegion") -> int:
+        """Byte distance between the two extents (0 if adjacent/overlapping).
+
+        Used by coarsening to pick the data structures closest to one
+        another in memory (Sec. III-B).
+        """
+        if self.overlaps_extent(other):
+            return 0
+        if self.end <= other.base:
+            return other.base - self.end
+        return self.base - other.end
+
+
+def region_from_arg(arg: ArgAccess, placement: Placement) -> AccessRegion:
+    """Build the region a kernel argument covers under ``placement``.
+
+    Each chiplet's touched byte range comes from the Listing 2 range
+    annotations when present, otherwise from the even contiguous split
+    implied by static kernel-wide WG partitioning.
+    """
+    chiplet_ranges: Dict[int, ByteRange] = {}
+    n = placement.num_chiplets
+    for logical, chiplet in enumerate(placement.chiplets):
+        lo, hi = arg.range_for_logical_chiplet(logical, n)
+        if hi > lo:
+            chiplet_ranges[chiplet] = (lo, hi)
+    return AccessRegion(
+        name=arg.buffer.name,
+        base=arg.buffer.base,
+        end=arg.buffer.end,
+        mode=arg.mode,
+        chiplet_ranges=chiplet_ranges,
+    )

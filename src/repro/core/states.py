@@ -1,0 +1,85 @@
+"""CPElide per-chiplet data-structure states (Sec. III-B, Fig. 6).
+
+Each Chiplet Coherence Table entry tracks, per chiplet, one of four states
+encoded in 2 bits of the entry's chiplet vector. Unlike most coherence
+protocols there are no transient states: the table is not waiting for
+operations to complete, it denotes how data *will be* accessed in each
+chiplet, updated at kernel launches. The state is a conservative,
+coarse-grained estimate of a data structure's lines in that chiplet's L2 —
+it may differ from the actual cache contents, always in the safe direction.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Tuple
+
+
+class ChipletState(enum.IntEnum):
+    """The four states of Fig. 6, with their 2-bit encodings."""
+
+    #: The data structure does not exist in this chiplet's L2 (00).
+    NOT_PRESENT = 0b00
+    #: Clean data may be in this chiplet's L2 after a read-only kernel (01).
+    VALID = 0b01
+    #: Possibly-modified data may be in this chiplet's L2 after an R/W
+    #: kernel (10). Another chiplet must trigger a flush before using it.
+    DIRTY = 0b10
+    #: Data may be in this chiplet's L2 but is no longer up to date because
+    #: another chiplet wrote it (11). The chiplet must be invalidated
+    #: before it safely accesses this data structure again.
+    STALE = 0b11
+
+
+#: Transitions Fig. 6 allows, as (from, to) pairs. Self-loops (local/remote
+#: reads that keep the state, flushes of other structures) are always
+#: legal and are not listed.
+_LEGAL: FrozenSet[Tuple[ChipletState, ChipletState]] = frozenset({
+    # A kernel scheduled here reads / writes the structure.
+    (ChipletState.NOT_PRESENT, ChipletState.VALID),
+    (ChipletState.NOT_PRESENT, ChipletState.DIRTY),
+    (ChipletState.VALID, ChipletState.DIRTY),
+    # Another chiplet will write the overlapping range.
+    (ChipletState.VALID, ChipletState.STALE),
+    (ChipletState.DIRTY, ChipletState.STALE),
+    # A release (flush) writes dirty data back, retaining clean copies.
+    (ChipletState.DIRTY, ChipletState.VALID),
+    # An acquire (invalidate) drops everything in the chiplet's L2.
+    (ChipletState.VALID, ChipletState.NOT_PRESENT),
+    (ChipletState.DIRTY, ChipletState.NOT_PRESENT),
+    (ChipletState.STALE, ChipletState.NOT_PRESENT),
+    # After an acquire the chiplet may immediately re-read/rewrite.
+    (ChipletState.STALE, ChipletState.VALID),
+    (ChipletState.STALE, ChipletState.DIRTY),
+})
+
+
+def is_legal_transition(src: ChipletState, dst: ChipletState) -> bool:
+    """Whether Fig. 6 permits moving from ``src`` to ``dst``.
+
+    ``STALE -> VALID``/``STALE -> DIRTY`` are permitted only as the
+    composite of an acquire followed by the new access; the table performs
+    them as one step because both happen at the same kernel launch.
+    """
+    if src == dst:
+        return True
+    return (src, dst) in _LEGAL
+
+
+def merge_conservative(a: ChipletState, b: ChipletState) -> ChipletState:
+    """Combine two states into the more conservative one (coarsening).
+
+    Sec. III-B: when entries are combined, the chiplet vector stores the
+    more conservative of the states to ensure correctness. Conservatism
+    order: a state requiring a flush (DIRTY) or an invalidate (STALE)
+    dominates one that does not; between DIRTY and STALE we keep DIRTY,
+    which forces a flush *and* leaves the copy subject to staleness
+    tracking afterwards.
+    """
+    order = {
+        ChipletState.NOT_PRESENT: 0,
+        ChipletState.VALID: 1,
+        ChipletState.STALE: 2,
+        ChipletState.DIRTY: 3,
+    }
+    return a if order[a] >= order[b] else b

@@ -1,0 +1,206 @@
+"""The Chiplet Coherence Table (Sec. III-A, Fig. 5).
+
+Lives in the global CP's private memory. Each row tracks one data
+structure (or one coarsened group of structures) with four fields: the
+structure's base address, the per-chiplet address ranges, the access mode,
+and a 2n-bit chiplet vector holding each chiplet's
+:class:`~repro.core.states.ChipletState`.
+
+Sizing (Sec. III-A): prior work found most GPU programs access <= 8 data
+structures per kernel, reused within ~4 kernels; the table is
+conservatively sized at 8 structures x 8 kernels = 64 entries, ~2 KB for a
+4-chiplet system, fitting in the CP's private memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.regions import AccessRegion, ByteRange, merge_ranges, ranges_overlap
+from repro.core.states import ChipletState
+from repro.cp.packets import AccessMode
+
+
+@dataclass
+class TableEntry:
+    """One row of the Chiplet Coherence Table.
+
+    Attributes:
+        name: Data structure name(s) (coarsened rows join names with '+').
+        base: Byte base of the tracked extent (the 4-byte base field).
+        end: One past the tracked extent.
+        mode: Access-mode bit of the most recent access.
+        states: Per-chiplet 2-bit state (the chiplet vector).
+        ranges: Per-chiplet tracked byte range (the 28-byte ranges field).
+        home_ranges: Per-chiplet cacheable extent. Under forward-to-home
+            routing a chiplet's L2 only ever holds lines *homed* on that
+            chiplet, and first-touch placement homes each slice at the
+            chiplet that accessed it in the structure's first kernel —
+            scheduling information the global CP has (Sec. I). Tracked
+            ranges are clipped to this extent so that, e.g., a stencil's
+            remote halo reads do not create phantom residency that would
+            trigger spurious whole-cache acquires.
+    """
+
+    name: str
+    base: int
+    end: int
+    mode: AccessMode
+    states: List[ChipletState]
+    ranges: List[Optional[ByteRange]]
+    home_ranges: List[Optional[ByteRange]]
+
+    @classmethod
+    def blank(cls, name: str, base: int, end: int, mode: AccessMode,
+              num_chiplets: int) -> "TableEntry":
+        """A fresh row with every chiplet Not Present."""
+        return cls(name=name, base=base, end=end, mode=mode,
+                   states=[ChipletState.NOT_PRESENT] * num_chiplets,
+                   ranges=[None] * num_chiplets,
+                   home_ranges=[None] * num_chiplets)
+
+    def is_empty(self) -> bool:
+        """Whether every chiplet is Not Present (row removable, Sec. III-C)."""
+        return all(s is ChipletState.NOT_PRESENT for s in self.states)
+
+    def chiplets_in(self, *states: ChipletState) -> List[int]:
+        """Chiplet ids whose state is one of ``states``."""
+        wanted = set(states)
+        return [c for c, s in enumerate(self.states) if s in wanted]
+
+    def storage_bits(self, num_chiplets: int) -> int:
+        """Bits this row occupies (Sec. III-A: 1B vector + 1b mode +
+        28B ranges + 4B base per entry, scaled to the chiplet count)."""
+        vector_bits = 2 * num_chiplets
+        mode_bits = 1
+        range_bits = 28 * 8
+        base_bits = 4 * 8
+        return vector_bits + mode_bits + range_bits + base_bits
+
+
+class ChipletCoherenceTable:
+    """Capacity-bounded table of :class:`TableEntry` rows with LRU order."""
+
+    def __init__(self, num_chiplets: int, structs_per_kernel: int = 8,
+                 kernel_window: int = 8) -> None:
+        if num_chiplets <= 0:
+            raise ValueError(f"num_chiplets must be positive, got {num_chiplets}")
+        self.num_chiplets = num_chiplets
+        self.structs_per_kernel = structs_per_kernel
+        self.capacity = structs_per_kernel * kernel_window
+        # base address -> entry, in LRU order (least recent first).
+        self._entries: "OrderedDict[int, TableEntry]" = OrderedDict()
+        self.peak_entries = 0
+        self.overflow_evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> List[TableEntry]:
+        """All rows, LRU first."""
+        return list(self._entries.values())
+
+    def find_overlapping(self, base: int, end: int) -> List[TableEntry]:
+        """Rows whose extent intersects ``[base, end)``."""
+        return [e for e in self._entries.values()
+                if ranges_overlap((e.base, e.end), (base, end))]
+
+    def touch(self, entry: TableEntry) -> None:
+        """Mark ``entry`` most recently used."""
+        self._entries.move_to_end(entry.base)
+
+    # ------------------------------------------------------------------
+
+    def get_or_create(self, region: AccessRegion) -> Tuple[TableEntry, Optional[TableEntry]]:
+        """Find (merging) or create the row for ``region``.
+
+        Overlapping existing rows are merged into one (a coarsened row may
+        cover several structures). Returns ``(entry, evicted)`` where
+        ``evicted`` is a victim row dropped to make space — the caller must
+        conservatively synchronize the victim's chiplets (overflow fallback
+        behaves like the baseline, Sec. III-C "Indirect & Irregular").
+        """
+        overlapping = self.find_overlapping(region.base, region.end)
+        evicted: Optional[TableEntry] = None
+        if overlapping:
+            entry = overlapping[0]
+            for extra in overlapping[1:]:
+                self._merge_into(entry, extra)
+            self._extend(entry, region)
+            self.touch(entry)
+        else:
+            if len(self._entries) >= self.capacity:
+                _, evicted = self._entries.popitem(last=False)
+                self.overflow_evictions += 1
+            entry = TableEntry.blank(region.name, region.base, region.end,
+                                     region.mode, self.num_chiplets)
+            self._entries[entry.base] = entry
+        self.peak_entries = max(self.peak_entries, len(self._entries))
+        return entry, evicted
+
+    def _merge_into(self, dst: TableEntry, src: TableEntry) -> None:
+        """Fold ``src`` into ``dst`` conservatively and remove ``src``."""
+        from repro.core.states import merge_conservative
+
+        del self._entries[src.base]
+        old_base = dst.base
+        dst.name = f"{dst.name}+{src.name}"
+        dst.base = min(dst.base, src.base)
+        dst.end = max(dst.end, src.end)
+        for c in range(self.num_chiplets):
+            dst.states[c] = merge_conservative(dst.states[c], src.states[c])
+            dst.ranges[c] = merge_ranges(dst.ranges[c], src.ranges[c])
+            dst.home_ranges[c] = merge_ranges(dst.home_ranges[c],
+                                              src.home_ranges[c])
+        if dst.base != old_base:
+            del self._entries[old_base]
+            self._entries[dst.base] = dst
+
+    def _extend(self, entry: TableEntry, region: AccessRegion) -> None:
+        """Grow ``entry``'s extent to cover ``region`` (keyed by base)."""
+        if region.base < entry.base:
+            del self._entries[entry.base]
+            entry.base = region.base
+            self._entries[entry.base] = entry
+        entry.end = max(entry.end, region.end)
+        entry.mode = region.mode
+
+    def remove_if_empty(self, entry: TableEntry) -> bool:
+        """Drop ``entry`` if every chiplet is Not Present (Sec. III-C)."""
+        if entry.is_empty() and entry.base in self._entries:
+            del self._entries[entry.base]
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Whole-cache side effects of issued sync ops (the global CP cannot
+    # issue range operations, so an acquire/release touches every row).
+    # ------------------------------------------------------------------
+
+    def on_chiplet_acquired(self, chiplet: int) -> None:
+        """An acquire invalidated ``chiplet``'s whole L2: every row's state
+        for that chiplet becomes Not Present; empty rows are removed."""
+        for entry in list(self._entries.values()):
+            entry.states[chiplet] = ChipletState.NOT_PRESENT
+            entry.ranges[chiplet] = None
+            self.remove_if_empty(entry)
+
+    def on_chiplet_released(self, chiplet: int) -> None:
+        """A release flushed ``chiplet``'s whole L2: every Dirty row for
+        that chiplet becomes Valid (clean copies are retained)."""
+        for entry in self._entries.values():
+            if entry.states[chiplet] is ChipletState.DIRTY:
+                entry.states[chiplet] = ChipletState.VALID
+
+    # ------------------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """Total bytes at full capacity (the ~2 KB claim of Sec. III-A)."""
+        sample = TableEntry.blank("", 0, 1, AccessMode.R, self.num_chiplets)
+        bits_per_row = sample.storage_bits(self.num_chiplets)
+        return (bits_per_row * self.capacity + 7) // 8

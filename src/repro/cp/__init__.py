@@ -1,0 +1,38 @@
+"""Command processor (CP) substrate.
+
+The CP is the programmable embedded microprocessor that interfaces between
+the software stack and the GPU hardware (Sec. II-B). This package models
+the pieces the paper describes and modifies:
+
+* kernel packets with data-structure metadata (:mod:`repro.cp.packets`),
+* software streams mapped onto hardware compute queues
+  (:mod:`repro.cp.queues`),
+* the queue scheduler and the WG scheduler with static kernel-wide
+  partitioning (:mod:`repro.cp.wg_scheduler`),
+* per-chiplet local CPs (:mod:`repro.cp.local_cp`) and the proposed
+  global CP (:mod:`repro.cp.global_cp`) that hosts CPElide.
+"""
+
+from repro.cp.packets import AccessMode, ArgAccess, KernelPacket, RangeAnnotation
+from repro.cp.queues import HardwareQueue, QueueScheduler, Stream
+from repro.cp.wg_scheduler import Placement, WGScheduler
+from repro.cp.local_cp import LocalCP, SyncAck, SyncOp, SyncOpKind
+from repro.cp.global_cp import GlobalCP, LaunchDecision
+
+__all__ = [
+    "AccessMode",
+    "ArgAccess",
+    "KernelPacket",
+    "RangeAnnotation",
+    "HardwareQueue",
+    "QueueScheduler",
+    "Stream",
+    "Placement",
+    "WGScheduler",
+    "LocalCP",
+    "SyncAck",
+    "SyncOp",
+    "SyncOpKind",
+    "GlobalCP",
+    "LaunchDecision",
+]

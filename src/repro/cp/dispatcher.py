@@ -1,0 +1,124 @@
+"""Local CP work-group dispatch and CU occupancy (Sec. II-B, Table I).
+
+Each chiplet's local CP round-robins its WG group onto the chiplet's CUs.
+How many WGs fit concurrently on a CU — the *occupancy* — is bounded by
+Table I's resources: 4 SIMD units x 10 wavefronts per SIMD, a 256 KB
+vector register file and 12.5 KB scalar register file per CU, and 64 KB
+of LDS per CU. Occupancy determines both the effective compute
+parallelism and the memory-level parallelism available to hide latency
+(fewer resident wavefronts = fewer outstanding loads).
+
+Kernels that declare no resource usage get full occupancy, so the model
+is neutral unless a workload opts in (e.g. register- or LDS-hungry
+kernels).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.gpu.config import GPUConfig
+
+#: SIMD lane width (wavefront size).
+WAVEFRONT_LANES = 64
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Per-kernel resource declaration (the queue-entry fields the WG
+    scheduler reads: thread dimensions, register usage, scratchpad size —
+    Sec. II-B).
+
+    Attributes:
+        vgprs_per_thread: Vector registers per thread (lane).
+        sgprs_per_wavefront: Scalar registers per wavefront.
+        lds_bytes_per_wg: LDS (scratchpad) allocated per work-group.
+        wavefronts_per_wg: Wavefronts in one work-group.
+    """
+
+    vgprs_per_thread: int = 24
+    sgprs_per_wavefront: int = 32
+    lds_bytes_per_wg: int = 0
+    wavefronts_per_wg: int = 4
+
+    def __post_init__(self) -> None:
+        if self.vgprs_per_thread <= 0 or self.sgprs_per_wavefront <= 0:
+            raise ValueError("register usage must be positive")
+        if self.wavefronts_per_wg <= 0:
+            raise ValueError("wavefronts_per_wg must be positive")
+        if self.lds_bytes_per_wg < 0:
+            raise ValueError("lds_bytes_per_wg must be >= 0")
+
+
+#: Neutral default: fits the full 40-wavefront occupancy of Table I.
+DEFAULT_RESOURCES = KernelResources()
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Occupancy analysis of one kernel on one CU."""
+
+    max_wavefronts: int         # hardware bound (SIMD x WF/SIMD)
+    vgpr_limited: int
+    sgpr_limited: int
+    lds_limited: int
+    wg_granular: int            # after rounding down to whole WGs
+
+    @property
+    def wavefronts(self) -> int:
+        """Resident wavefronts per CU."""
+        return self.wg_granular
+
+    @property
+    def fraction(self) -> float:
+        """Occupancy as a fraction of the hardware maximum."""
+        return self.wavefronts / self.max_wavefronts if self.max_wavefronts else 0.0
+
+
+class LocalDispatcher:
+    """One chiplet's WG-to-CU dispatcher."""
+
+    def __init__(self, config: "GPUConfig") -> None:
+        self.config = config
+        self.max_wf_per_cu = config.simd_per_cu * config.max_wf_per_simd
+        # Table I: 256 KB vector / 12.5 KB scalar register file per CU.
+        self.vgpr_file_bytes = 256 * 1024
+        self.sgpr_file_bytes = int(12.5 * 1024)
+
+    def occupancy(self, resources: KernelResources) -> OccupancyReport:
+        """Resident wavefronts per CU for a kernel's resource usage."""
+        vgpr_bytes_per_wf = (resources.vgprs_per_thread * WAVEFRONT_LANES * 4)
+        vgpr_limited = self.vgpr_file_bytes // vgpr_bytes_per_wf
+        sgpr_limited = self.sgpr_file_bytes // (resources.sgprs_per_wavefront * 4)
+        if resources.lds_bytes_per_wg > 0:
+            wgs_by_lds = self.config.lds_size // resources.lds_bytes_per_wg
+            lds_limited = wgs_by_lds * resources.wavefronts_per_wg
+        else:
+            lds_limited = self.max_wf_per_cu
+        raw = min(self.max_wf_per_cu, vgpr_limited, sgpr_limited, lds_limited)
+        # WGs are indivisible: round down to whole work-groups, but a CU
+        # always runs at least one WG (it may monopolize the CU).
+        whole_wgs = max(1, raw // resources.wavefronts_per_wg)
+        wg_granular = min(raw if raw > 0 else resources.wavefronts_per_wg,
+                          whole_wgs * resources.wavefronts_per_wg)
+        return OccupancyReport(
+            max_wavefronts=self.max_wf_per_cu,
+            vgpr_limited=vgpr_limited,
+            sgpr_limited=sgpr_limited,
+            lds_limited=lds_limited,
+            wg_granular=max(resources.wavefronts_per_wg, wg_granular)
+            if raw <= 0 else wg_granular,
+        )
+
+    def dispatch_rounds(self, num_wgs: int,
+                        resources: KernelResources) -> int:
+        """Round-robin dispatch waves needed to retire ``num_wgs`` WGs."""
+        if num_wgs <= 0:
+            raise ValueError(f"num_wgs must be positive, got {num_wgs}")
+        report = self.occupancy(resources)
+        wgs_per_cu = max(1, report.wavefronts // resources.wavefronts_per_wg)
+        concurrent = wgs_per_cu * self.config.cus_per_chiplet
+        return math.ceil(num_wgs / concurrent)

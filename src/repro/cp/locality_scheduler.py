@@ -1,0 +1,78 @@
+"""Locality-aware WG scheduling (complementary to CPElide).
+
+Sec. VII: intelligent schedulers like LADM [64] "could be used in
+conjunction with CPElide, which has detailed information about where data
+is being accessed and tight coupling with the WG scheduler". This module
+implements the simplest such scheduler: kernels that use *fewer chiplets
+than the device has* (reductions, small grids, stream-restricted work)
+are steered toward the chiplets whose L2s already hold their data,
+instead of always filling chiplets 0..k-1.
+
+Full-width kernels are untouched — static kernel-wide partitioning over
+all chiplets is already placement-optimal under first-touch homes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cp.packets import KernelPacket
+from repro.cp.wg_scheduler import Placement, WGScheduler
+
+
+class LocalityAwareWGScheduler(WGScheduler):
+    """Static partitioning with producer-affinity for narrow kernels.
+
+    Keeps a per-buffer history of which chiplets last touched each data
+    structure (most-recent placement order). When a kernel cannot use
+    every chiplet, candidates are ranked by how much of the kernel's data
+    they recently touched.
+    """
+
+    def __init__(self, num_chiplets: int) -> None:
+        super().__init__(num_chiplets)
+        #: buffer base address -> chiplets that last touched it.
+        self._affinity: Dict[int, Tuple[int, ...]] = {}
+
+    def place(self, packet: KernelPacket) -> Placement:
+        """Place the kernel, steering narrow kernels to hot chiplets."""
+        placement = super().place(packet)
+        if (placement.num_chiplets < self.num_chiplets
+                and packet.chiplet_mask is None):
+            preferred = self._ranked_candidates(packet)
+            if preferred:
+                # Pad with the remaining chiplets so narrow-but-multi
+                # kernels still get enough targets.
+                pool = preferred + [c for c in range(self.num_chiplets)
+                                    if c not in preferred]
+                chosen = pool[:placement.num_chiplets]
+                placement = Placement(
+                    chiplets=tuple(chosen),
+                    wg_counts=placement.wg_counts)
+        self._record(packet, placement)
+        return placement
+
+    # ------------------------------------------------------------------
+
+    def _ranked_candidates(self, packet: KernelPacket) -> List[int]:
+        """Chiplets ranked by affinity to the kernel's data structures."""
+        scores = [0] * self.num_chiplets
+        seen = False
+        for arg in packet.args:
+            holders = self._affinity.get(arg.buffer.base)
+            if holders is None:
+                continue
+            seen = True
+            for chiplet in holders:
+                # Every recent holder gets one affinity credit per data
+                # structure it holds.
+                scores[chiplet] += 1
+        if not seen:
+            return []
+        order = sorted(range(self.num_chiplets),
+                       key=lambda c: (-scores[c], c))
+        return [c for c in order if scores[c] > 0] or order
+
+    def _record(self, packet: KernelPacket, placement: Placement) -> None:
+        for arg in packet.args:
+            self._affinity[arg.buffer.base] = placement.chiplets

@@ -1,0 +1,130 @@
+"""Kernel packets and data-structure access metadata.
+
+The GPU driver/runtime enqueues each kernel as a packet holding thread
+dimensions and pointers to kernel arguments (Sec. II-B). CPElide extends
+the packet with per-argument access modes (Listing 1,
+``hipSetAccessMode``) and optionally per-chiplet address ranges
+(Listing 2, ``hipSetAccessModeRange``); the global CP's packet processor
+reads this metadata to drive the Chiplet Coherence Table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.memory.address import Buffer
+
+
+class AccessMode(enum.Enum):
+    """Data-structure access mode labels (Sec. III-B).
+
+    Monolithic GPUs generally only need ``R`` and ``RW`` labels; chiplet
+    GPUs additionally need to know *where* accesses are scheduled, which
+    the WG scheduler supplies at dispatch time.
+    """
+
+    R = "R"
+    RW = "R/W"
+
+    @property
+    def writes(self) -> bool:
+        """Whether this mode can modify the data structure."""
+        return self is AccessMode.RW
+
+
+@dataclass(frozen=True)
+class RangeAnnotation:
+    """A ``(start, end, logical_chiplet)`` range from Listing 2.
+
+    ``logical_chiplet`` indexes into the set of chiplets the kernel is
+    scheduled on (the programmer knows how many chiplets the kernel will
+    use, not which physical ones — Listing 2's caption).
+    """
+
+    start: int
+    end: int
+    logical_chiplet: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(
+                f"range end ({self.end:#x}) must exceed start ({self.start:#x})")
+        if self.logical_chiplet < 0:
+            raise ValueError(
+                f"logical_chiplet must be >= 0, got {self.logical_chiplet}")
+
+
+@dataclass(frozen=True)
+class ArgAccess:
+    """One kernel argument's access annotation.
+
+    Attributes:
+        buffer: The data structure the argument points to.
+        mode: ``R`` or ``R/W`` (from ``hipSetAccessMode``).
+        ranges: Optional finer-grained per-logical-chiplet byte ranges
+            (from ``hipSetAccessModeRange``). ``None`` means the whole
+            buffer may be touched by every scheduled chiplet.
+    """
+
+    buffer: Buffer
+    mode: AccessMode
+    ranges: Optional[Tuple[RangeAnnotation, ...]] = None
+
+    def range_for_logical_chiplet(self, logical: int,
+                                  num_logical: int) -> Tuple[int, int]:
+        """Byte range logical chiplet ``logical`` touches.
+
+        Falls back to an even contiguous split when no explicit range
+        annotation was provided (matching static kernel-wide WG
+        partitioning over a linearly-indexed buffer).
+        """
+        if self.ranges is not None:
+            lo = None
+            hi = None
+            for r in self.ranges:
+                if r.logical_chiplet == logical:
+                    lo = r.start if lo is None else min(lo, r.start)
+                    hi = r.end if hi is None else max(hi, r.end)
+            if lo is None or hi is None:
+                # This chiplet does not touch the buffer at all.
+                return (self.buffer.base, self.buffer.base)
+            return (lo, hi)
+        return self.buffer.byte_range_of_slice(logical, num_logical)
+
+
+@dataclass(frozen=True)
+class KernelPacket:
+    """An AQL-like packet describing one kernel dispatch (Sec. II-B).
+
+    Attributes:
+        kernel_id: Dense dynamic-kernel index within the run.
+        name: Kernel name (for reports).
+        stream_id: GPU stream the kernel was enqueued on.
+        num_wgs: Work-group count (drives partitioning granularity).
+        args: Access annotations for every global-memory data structure
+            the kernel touches.
+        chiplet_mask: Optional restriction of which chiplets may run the
+            kernel (multi-stream workloads bind streams to chiplet
+            subsets via ``hipSetDevice``, Sec. III-B).
+    """
+
+    kernel_id: int
+    name: str
+    stream_id: int
+    num_wgs: int
+    args: Tuple[ArgAccess, ...]
+    chiplet_mask: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.num_wgs <= 0:
+            raise ValueError(f"kernel {self.name!r}: num_wgs must be positive")
+
+    def written_buffers(self) -> Sequence[Buffer]:
+        """Buffers this kernel may modify."""
+        return [a.buffer for a in self.args if a.mode.writes]
+
+    def read_only_buffers(self) -> Sequence[Buffer]:
+        """Buffers this kernel only reads."""
+        return [a.buffer for a in self.args if not a.mode.writes]

@@ -1,0 +1,107 @@
+"""GPU streams and hardware compute queues.
+
+GPUs support multiple hardware queues to manage independent work submitted
+asynchronously with streams (Sec. II-B): typically each stream maps to one
+queue, each queue holds kernels from that stream in order, and the CP
+maintains intra-stream inter-kernel dependencies while executing different
+streams concurrently.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.cp.packets import KernelPacket
+
+
+@dataclass
+class Stream:
+    """A software stream: an ordered sequence of kernels.
+
+    Attributes:
+        stream_id: Dense id.
+        chiplet_mask: Chiplets this stream's kernels may use (None = all);
+            set via the ``hipSetDevice``-style binding of Sec. III-B.
+    """
+
+    stream_id: int
+    chiplet_mask: Optional[Tuple[int, ...]] = None
+
+
+class HardwareQueue:
+    """One in-order hardware compute queue (holds kernels of one stream)."""
+
+    def __init__(self, queue_id: int, stream_id: int) -> None:
+        self.queue_id = queue_id
+        self.stream_id = stream_id
+        self._pending: Deque[KernelPacket] = deque()
+
+    def enqueue(self, packet: KernelPacket) -> None:
+        """Append a kernel packet (intra-stream order preserved)."""
+        if packet.stream_id != self.stream_id:
+            raise ValueError(
+                f"packet from stream {packet.stream_id} enqueued on queue of "
+                f"stream {self.stream_id}")
+        self._pending.append(packet)
+
+    def head(self) -> Optional[KernelPacket]:
+        """Peek the oldest pending kernel."""
+        return self._pending[0] if self._pending else None
+
+    def pop(self) -> KernelPacket:
+        """Remove and return the oldest pending kernel."""
+        return self._pending.popleft()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+
+class QueueScheduler:
+    """Maps streams onto hardware queues and selects the next kernel.
+
+    Kernels within a queue execute in order; across queues the scheduler
+    round-robins (different streams may execute concurrently, Sec. II-B).
+    """
+
+    def __init__(self, num_queues: int = 256) -> None:
+        if num_queues <= 0:
+            raise ValueError(f"num_queues must be positive, got {num_queues}")
+        self.num_queues = num_queues
+        self._queues: Dict[int, HardwareQueue] = {}
+        self._rr: List[int] = []
+        self._rr_pos = 0
+
+    def queue_for_stream(self, stream_id: int) -> HardwareQueue:
+        """Return (creating on demand) the hardware queue for a stream."""
+        queue = self._queues.get(stream_id)
+        if queue is None:
+            if len(self._queues) >= self.num_queues:
+                raise RuntimeError(
+                    f"out of hardware queues ({self.num_queues} in use)")
+            queue = HardwareQueue(queue_id=len(self._queues), stream_id=stream_id)
+            self._queues[stream_id] = queue
+            self._rr.append(stream_id)
+        return queue
+
+    def submit(self, packet: KernelPacket) -> None:
+        """Enqueue a packet on its stream's queue."""
+        self.queue_for_stream(packet.stream_id).enqueue(packet)
+
+    def next_kernel(self) -> Optional[KernelPacket]:
+        """Pop the next ready kernel, round-robining across queues."""
+        if not self._rr:
+            return None
+        for _ in range(len(self._rr)):
+            stream_id = self._rr[self._rr_pos]
+            self._rr_pos = (self._rr_pos + 1) % len(self._rr)
+            queue = self._queues[stream_id]
+            if len(queue):
+                return queue.pop()
+        return None
+
+    @property
+    def pending(self) -> int:
+        """Total kernels waiting across all queues."""
+        return sum(len(q) for q in self._queues.values())

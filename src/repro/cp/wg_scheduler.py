@@ -1,0 +1,95 @@
+"""Work-group scheduler: static kernel-wide partitioning.
+
+Sec. IV-C1: a kernel's WGs are divided into contiguous groups, one group
+per chiplet; each chiplet's local CP then round-robins its group onto the
+chiplet's CUs. The placement — which chiplets a kernel runs on and what
+fraction of its WGs each receives — is exactly the scheduling information
+CPElide's global CP combines with the packet's access annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cp.packets import KernelPacket
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where a kernel's WGs were scheduled.
+
+    Attributes:
+        chiplets: Physical chiplet ids the kernel runs on, in logical
+            order (logical chiplet *i* of the range annotations maps to
+            ``chiplets[i]``).
+        wg_counts: WGs assigned to each chiplet (parallel to ``chiplets``).
+    """
+
+    chiplets: Tuple[int, ...]
+    wg_counts: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.chiplets) != len(self.wg_counts):
+            raise ValueError("chiplets and wg_counts must have equal length")
+        if not self.chiplets:
+            raise ValueError("a placement must use at least one chiplet")
+
+    @property
+    def num_chiplets(self) -> int:
+        """How many chiplets the kernel uses."""
+        return len(self.chiplets)
+
+    @property
+    def total_wgs(self) -> int:
+        """Total WGs placed."""
+        return sum(self.wg_counts)
+
+    def share_of(self, chiplet: int) -> float:
+        """Fraction of the kernel's WGs running on ``chiplet``."""
+        total = self.total_wgs
+        for c, n in zip(self.chiplets, self.wg_counts):
+            if c == chiplet:
+                return n / total
+        return 0.0
+
+    def logical_of(self, chiplet: int) -> Optional[int]:
+        """Logical index of physical ``chiplet`` within this placement."""
+        for logical, c in enumerate(self.chiplets):
+            if c == chiplet:
+                return logical
+        return None
+
+
+class WGScheduler:
+    """Static kernel-wide WG partitioning across chiplets (Sec. IV-C1)."""
+
+    def __init__(self, num_chiplets: int) -> None:
+        if num_chiplets <= 0:
+            raise ValueError(f"num_chiplets must be positive, got {num_chiplets}")
+        self.num_chiplets = num_chiplets
+
+    def place(self, packet: KernelPacket) -> Placement:
+        """Partition a kernel's WGs into contiguous per-chiplet groups.
+
+        Kernels with fewer WGs than chiplets occupy only the first
+        ``num_wgs`` chiplets; stream-restricted kernels use only their
+        stream's chiplet mask.
+        """
+        candidates: Sequence[int]
+        if packet.chiplet_mask is not None:
+            candidates = [c for c in packet.chiplet_mask if c < self.num_chiplets]
+            if not candidates:
+                raise ValueError(
+                    f"kernel {packet.name!r}: chiplet mask {packet.chiplet_mask} "
+                    f"selects no chiplet below {self.num_chiplets}")
+        else:
+            candidates = list(range(self.num_chiplets))
+        used = min(len(candidates), packet.num_wgs)
+        chiplets = tuple(candidates[:used])
+        counts: List[int] = []
+        for i in range(used):
+            lo = (packet.num_wgs * i) // used
+            hi = (packet.num_wgs * (i + 1)) // used
+            counts.append(hi - lo)
+        return Placement(chiplets=chiplets, wg_counts=tuple(counts))

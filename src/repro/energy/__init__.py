@@ -1,0 +1,5 @@
+"""Per-access energy model (Fig. 9)."""
+
+from repro.energy.model import EnergyModel, EnergyParams
+
+__all__ = ["EnergyModel", "EnergyParams"]

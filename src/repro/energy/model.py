@@ -1,0 +1,69 @@
+"""Memory-subsystem energy model.
+
+Fig. 9 reports the 4-chiplet memory-subsystem energy divided into L1
+instruction and data caches, LDS, L2 cache, NOC, and DRAM, normalized to
+Baseline. Like the paper (Sec. IV-B) we use per-access energy models in
+the spirit of [30], [31], [45], [104], scaled to the multi-chiplet
+hierarchy. Absolute picojoule values are order-of-magnitude estimates —
+Fig. 9 only depends on the *relative* costs (DRAM >> NOC/L3 >> L2 > L1 >
+LDS) and on the access/traffic counts, which the simulator measures
+exactly. The L3 array energy is folded into the NOC component's per-flit
+cost on the L2-L3 links, since Fig. 9 has no separate L3 category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.interconnect.noc import TrafficMeter
+from repro.metrics.stats import AccessCounts
+
+PJ = 1e-12
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energies in joules."""
+
+    l1d_access: float = 45.0 * PJ
+    l1i_access: float = 30.0 * PJ
+    #: Instruction-fetch events per L1D access (proxy; identical across
+    #: configurations, so it cancels in the normalized figure).
+    l1i_per_l1d: float = 0.5
+    lds_access: float = 25.0 * PJ
+    l2_access: float = 100.0 * PJ
+    #: L1<->L2 on-chiplet link, per flit.
+    noc_l1_l2_flit: float = 8.0 * PJ
+    #: L2<->L3 network per flit, including amortized L3 array energy.
+    noc_l2_l3_flit: float = 30.0 * PJ
+    #: Inter-chiplet link, per flit (off-die signaling is costly).
+    noc_remote_flit: float = 45.0 * PJ
+    #: HBM, per 64B line access.
+    dram_access: float = 600.0 * PJ
+
+
+class EnergyModel:
+    """Turns counters into the Fig. 9 component breakdown."""
+
+    COMPONENTS = ("l1i", "l1d", "lds", "l2", "noc", "dram")
+
+    def __init__(self, params: EnergyParams = EnergyParams()) -> None:
+        self.params = params
+
+    def breakdown(self, counts: AccessCounts,
+                  traffic: TrafficMeter) -> Dict[str, float]:
+        """Joules per Fig. 9 component, plus a ``total`` key."""
+        p = self.params
+        out = {
+            "l1i": counts.l1_accesses * p.l1i_per_l1d * p.l1i_access,
+            "l1d": counts.l1_accesses * p.l1d_access,
+            "lds": counts.lds_accesses * p.lds_access,
+            "l2": (counts.l2_accesses + counts.l2_writethroughs) * p.l2_access,
+            "noc": (traffic.l1_l2 * p.noc_l1_l2_flit
+                    + traffic.l2_l3 * p.noc_l2_l3_flit
+                    + traffic.remote * p.noc_remote_flit),
+            "dram": counts.dram_accesses * p.dram_access,
+        }
+        out["total"] = sum(out.values())
+        return out

@@ -1,0 +1,88 @@
+"""CLI for regenerating any figure/table: ``python -m repro.experiments``.
+
+Examples:
+
+    python -m repro.experiments fig2
+    python -m repro.experiments fig8 --chiplets 4 --scale 0.03125
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    capacity,
+    inference,
+    driver_sync,
+    fig2,
+    fig8,
+    fig9,
+    fig10,
+    hmg_writeback,
+    multistream,
+    occupancy,
+    range_flush,
+    reuse,
+    scaling,
+    scheduler_ablation,
+    table1,
+    table3,
+)
+
+EXPERIMENTS = {
+    "table1": lambda args: table1.report(table1.run()),
+    "table2": lambda args: reuse.report(reuse.run(scale=args.scale)),
+    "table3": lambda args: table3.report(table3.run()),
+    "fig2": lambda args: fig2.report(fig2.run(scale=args.scale)),
+    "fig8": lambda args: fig8.report(
+        fig8.run(chiplet_counts=args.chiplets, scale=args.scale)),
+    "fig9": lambda args: fig9.report(fig9.run(scale=args.scale)),
+    "fig10": lambda args: fig10.report(fig10.run(scale=args.scale)),
+    "scaling": lambda args: scaling.report(scaling.run(scale=args.scale)),
+    "multistream": lambda args: multistream.report(
+        multistream.run(scale=args.scale)),
+    "hmg-wb": lambda args: hmg_writeback.report(
+        hmg_writeback.run(scale=args.scale)),
+    "range-flush": lambda args: range_flush.report(
+        range_flush.run(scale=args.scale)),
+    "occupancy": lambda args: occupancy.report(
+        occupancy.run(scale=args.scale)),
+    "driver-sync": lambda args: driver_sync.report(
+        driver_sync.run(scale=args.scale)),
+    "scheduler": lambda args: scheduler_ablation.report(
+        scheduler_ablation.run(scale=args.scale)),
+    "capacity": lambda args: capacity.report(
+        capacity.run(scale=args.scale)),
+    "inference": lambda args: inference.report(
+        inference.run(scale=args.scale)),
+}
+
+
+def main(argv=None) -> int:
+    """Entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate a CPElide paper figure or table.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which figure/table to regenerate")
+    parser.add_argument("--scale", type=float, default=1 / 32,
+                        help="simulation scale factor (default 1/32)")
+    parser.add_argument("--chiplets", type=int, nargs="+",
+                        default=[2, 4, 6, 7],
+                        help="chiplet counts for fig8 (default 2 4 6 7)")
+    args = parser.parse_args(argv)
+
+    selected = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in selected:
+        start = time.time()
+        print(EXPERIMENTS[name](args))
+        print(f"[{name}: {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

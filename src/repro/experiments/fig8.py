@@ -1,0 +1,92 @@
+"""Figure 8 — performance of CPElide and HMG on 2/4/6/7-chiplet GPUs.
+
+Normalized to Baseline *for each chiplet count* (the figure's caption).
+The paper's headline: on 4 chiplets CPElide improves performance 13% over
+Baseline and 19% over HMG (17%/20% restricted to the moderate-or-higher
+inter-kernel-reuse group), and the trends persist at 2, 6, and 7 chiplets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import CHIPLET_COUNTS, DEFAULT_SCALE, MatrixResult, run_matrix
+from repro.metrics.report import format_table, geomean
+from repro.workloads.suite import HIGH_REUSE, LOW_REUSE
+
+
+@dataclass
+class Fig8Result:
+    """Normalized speedups per (workload, protocol, chiplet count)."""
+
+    matrix: MatrixResult
+    chiplet_counts: Tuple[int, ...]
+
+    def speedup(self, workload: str, protocol: str, chiplets: int) -> float:
+        """Baseline-normalized speedup of one bar of the figure."""
+        return self.matrix.speedup_over_baseline(workload, protocol, chiplets)
+
+    def geomean_speedup(self, protocol: str, chiplets: int,
+                        group: Optional[Sequence[str]] = None) -> float:
+        """Average bar over a workload group."""
+        names = group if group is not None else self.matrix.workloads()
+        return geomean(self.speedup(name, protocol, chiplets)
+                       for name in names)
+
+
+def run(workloads: Optional[Sequence[str]] = None,
+        chiplet_counts: Sequence[int] = CHIPLET_COUNTS,
+        scale: float = DEFAULT_SCALE) -> Fig8Result:
+    """Run the full Fig. 8 sweep."""
+    matrix = run_matrix(workloads=workloads,
+                        protocols=("baseline", "hmg", "cpelide"),
+                        chiplet_counts=chiplet_counts, scale=scale)
+    return Fig8Result(matrix=matrix, chiplet_counts=tuple(chiplet_counts))
+
+
+def report(result: Fig8Result) -> str:
+    """Render the Fig. 8 bars as one table per chiplet count, plus a
+    terminal bar chart of the 4-chiplet (or first) block."""
+    from repro.analysis.charts import grouped_bar_chart
+
+    blocks: List[str] = []
+    names = result.matrix.workloads()
+    chart_count = 4 if 4 in result.chiplet_counts else result.chiplet_counts[0]
+    groups = {
+        name: {
+            "CPElide": result.speedup(name, "cpelide", chart_count),
+            "HMG": result.speedup(name, "hmg", chart_count),
+        }
+        for name in names
+    }
+    blocks.append(grouped_bar_chart(
+        groups,
+        title=(f"Fig. 8 ({chart_count} chiplets): speedup over Baseline "
+               "(| = 1.0)")))
+    for chiplets in result.chiplet_counts:
+        rows: List[List[object]] = []
+        for name in names:
+            rows.append([
+                name,
+                result.speedup(name, "cpelide", chiplets),
+                result.speedup(name, "hmg", chiplets),
+            ])
+        rows.append(["GEOMEAN (all)",
+                     result.geomean_speedup("cpelide", chiplets),
+                     result.geomean_speedup("hmg", chiplets)])
+        hi = [n for n in names if n in HIGH_REUSE]
+        lo = [n for n in names if n in LOW_REUSE]
+        if hi:
+            rows.append(["GEOMEAN (mod-high reuse)",
+                         result.geomean_speedup("cpelide", chiplets, hi),
+                         result.geomean_speedup("hmg", chiplets, hi)])
+        if lo:
+            rows.append(["GEOMEAN (low reuse)",
+                         result.geomean_speedup("cpelide", chiplets, lo),
+                         result.geomean_speedup("hmg", chiplets, lo)])
+        blocks.append(format_table(
+            ["workload", "CPElide", "HMG"], rows,
+            title=(f"Fig. 8 ({chiplets} chiplets): speedup normalized to "
+                   f"Baseline@{chiplets}")))
+    return "\n\n".join(blocks)

@@ -1,0 +1,73 @@
+"""Shared experiment execution: (workload x protocol x chiplets) sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.sim import SimulationResult, Simulator
+from repro.workloads.suite import WORKLOAD_NAMES, build_workload
+
+#: Default simulation scale for experiments (1/32 of Table I capacities;
+#: workload footprints shrink by the same factor).
+DEFAULT_SCALE = 1 / 32
+
+#: Chiplet counts evaluated in Fig. 8 (Sec. IV-E: ROCm memory-aperture
+#: constraints cap the paper's sweep at 7 chiplets).
+CHIPLET_COUNTS = (2, 4, 6, 7)
+
+
+@dataclass
+class MatrixResult:
+    """Results of a (workload x protocol x chiplets) sweep."""
+
+    scale: float
+    #: (workload, protocol, num_chiplets) -> simulation result.
+    cells: Dict[Tuple[str, str, int], SimulationResult] = field(
+        default_factory=dict)
+
+    def get(self, workload: str, protocol: str,
+            num_chiplets: int) -> SimulationResult:
+        """Fetch one cell."""
+        return self.cells[(workload, protocol, num_chiplets)]
+
+    def speedup_over_baseline(self, workload: str, protocol: str,
+                              num_chiplets: int) -> float:
+        """Fig. 8 normalization: Baseline cycles / protocol cycles, at the
+        same chiplet count."""
+        base = self.get(workload, "baseline", num_chiplets).wall_cycles
+        other = self.get(workload, protocol, num_chiplets).wall_cycles
+        return base / other
+
+    def workloads(self) -> List[str]:
+        """Distinct workload names present, in insertion order."""
+        seen: List[str] = []
+        for name, _, _ in self.cells:
+            if name not in seen:
+                seen.append(name)
+        return seen
+
+
+def run_one(workload: str, protocol: str, num_chiplets: int = 4,
+            scale: float = DEFAULT_SCALE) -> SimulationResult:
+    """Run one (workload, protocol, chiplet-count) cell."""
+    config = GPUConfig(num_chiplets=num_chiplets, scale=scale)
+    return Simulator(config, protocol).run(build_workload(workload, config))
+
+
+def run_matrix(workloads: Optional[Sequence[str]] = None,
+               protocols: Sequence[str] = ("baseline", "hmg", "cpelide"),
+               chiplet_counts: Sequence[int] = (4,),
+               scale: float = DEFAULT_SCALE) -> MatrixResult:
+    """Run a full sweep. Defaults to all 24 workloads on 4 chiplets."""
+    names = list(workloads) if workloads is not None else list(WORKLOAD_NAMES)
+    result = MatrixResult(scale=scale)
+    for num_chiplets in chiplet_counts:
+        config = GPUConfig(num_chiplets=num_chiplets, scale=scale)
+        for name in names:
+            for protocol in protocols:
+                workload = build_workload(name, config)
+                sim = Simulator(config, protocol)
+                result.cells[(name, protocol, num_chiplets)] = sim.run(workload)
+    return result

@@ -1,0 +1,18 @@
+"""Table I — simulated baseline GPU parameters."""
+
+from __future__ import annotations
+
+from repro.gpu.config import GPUConfig
+from repro.metrics.report import format_table
+
+
+def run(num_chiplets: int = 4) -> GPUConfig:
+    """Build the Table I configuration."""
+    return GPUConfig(num_chiplets=num_chiplets)
+
+
+def report(config: GPUConfig) -> str:
+    """Render Table I."""
+    return format_table(["GPU Feature", "Configuration"],
+                        config.table_rows(),
+                        title="Table I: simulated baseline GPU parameters")

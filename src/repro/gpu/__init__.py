@@ -1,0 +1,15 @@
+"""MCM-GPU device model: configuration (Table I), chiplets, simulator."""
+
+from repro.gpu.config import GPUConfig, monolithic_equivalent
+from repro.gpu.chiplet import Chiplet
+from repro.gpu.device import Device
+from repro.gpu.sim import Simulator, SimulationResult
+
+__all__ = [
+    "GPUConfig",
+    "monolithic_equivalent",
+    "Chiplet",
+    "Device",
+    "Simulator",
+    "SimulationResult",
+]

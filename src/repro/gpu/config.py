@@ -1,0 +1,242 @@
+"""Simulated GPU configuration — Table I of the paper.
+
+The defaults reproduce Table I (AMD Radeon VII-derived, validated gem5
+model). A single ``scale`` knob shrinks cache capacities; workloads consult
+the same knob when sizing their footprints, so working-set-to-cache ratios
+— which drive every result in the paper — are preserved while letting the
+pure-Python simulator finish in seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Table I parameters plus simulator-level knobs.
+
+    All cycle quantities are in GPU core cycles unless suffixed otherwise.
+    """
+
+    # ---- compute -------------------------------------------------------
+    gpu_clock_hz: float = 1801e6
+    cus_per_chiplet: int = 60
+    num_chiplets: int = 4
+    simd_per_cu: int = 4
+    max_wf_per_simd: int = 10
+    num_compute_queues: int = 256
+
+    # ---- L1 / LDS ------------------------------------------------------
+    l1d_size: int = 16 * KB          # per CU
+    l1i_size: int = 16 * KB          # per 4 CUs
+    l1_latency: int = 140
+    l1_repeat_hit_rate: float = 0.9  # statistical L1 filter parameter
+    lds_size: int = 64 * KB          # per CU
+    lds_latency: int = 65
+
+    # ---- L2 (per chiplet) ----------------------------------------------
+    l2_size: int = 8 * MB
+    l2_assoc: int = 32
+    l2_local_latency: int = 269
+    l2_remote_latency: int = 390
+    l2_bandwidth_per_chiplet: float = 1024e9
+
+    # ---- L3 (shared LLC, banked across chiplets) -------------------------
+    l3_size: int = 16 * MB
+    l3_assoc: int = 16
+    l3_latency: int = 330
+    l3_bandwidth_bytes_per_sec: float = 4096e9
+    #: Bulk L2->L3 flush streaming rate (aggregate): writebacks are
+    #: sequential full-line bursts with no request/response round trips,
+    #: so they stream faster than demand traffic.
+    flush_bandwidth_bytes_per_sec: float = 8192e9
+
+    # ---- memory ----------------------------------------------------------
+    line_size: int = 64
+    dram_latency: int = 500
+    #: Extra effective latency a write-through store carries (the write
+    #: must reach its home/memory and be acknowledged before the store
+    #: buffer entry frees; HMG writes through all stores, Sec. IV-C).
+    writethrough_penalty_cycles: float = 330.0
+    #: DRAM bandwidth amplification of write-through stores: per-store
+    #: writes commit uncoalesced partial lines, costing read-modify-write
+    #: cycles at the HBM versus the full-line writebacks of a write-back
+    #: L2.
+    wt_dram_amplification: float = 1.6
+    dram_bandwidth_per_stack: float = 256e9   # one HBM stack per chiplet
+    inter_chiplet_bandwidth: float = 768e9    # Table I
+
+    # ---- command processors ----------------------------------------------
+    cp_clock_hz: float = 1.5e9
+    cp_dispatch_latency_s: float = 2e-6       # local/global CP latency [42,96,110]
+    cpelide_op_latency_s: float = 6e-6        # Sec. IV-B measured table op cost
+    #: Host (driver) round-trip latency for the Sec. VI what-if where the
+    #: driver, not the CP, manages implicit synchronization — the CP must
+    #: send scheduling information to the host and wait [28, 79, 140].
+    host_roundtrip_latency_s: float = 10e-6
+    cp_memory_latency_cycles: int = 31        # CP private memory
+    cp_xbar_unicast_cycles: int = 65
+    cp_xbar_broadcast_cycles: int = 100
+
+    # ---- CPElide table sizing (Sec. III-A) --------------------------------
+    table_structs_per_kernel: int = 8
+    table_kernel_window: int = 8
+
+    # ---- timing-model knobs ------------------------------------------------
+    #: Effective outstanding memory accesses per CU (memory-level
+    #: parallelism). 4 SIMD x 10 WF gives 40 wavefronts with multiple
+    #: outstanding loads each; the calibrated value trades the latency
+    #: term against the bandwidth floors.
+    mlp_per_cu: float = 24.0
+
+    # ---- simulator scaling ---------------------------------------------------
+    #: Shrinks cache capacities; workloads shrink footprints by the same
+    #: factor. 1.0 = paper scale. Benches default to 1/16, tests to 1/64.
+    scale: float = 1.0
+    #: Scale applied to *fixed* overheads (CP dispatch/table latencies,
+    #: per-boundary sync constants). Defaults to ``scale``: shrinking a
+    #: workload by 16x must shrink fixed costs equally or they dominate
+    #: kernels that the scaling made 16x shorter, distorting every
+    #: normalized result. Set to 1.0 to model true (unscaled) latencies.
+    overhead_scale: float = -1.0  # sentinel: follow `scale`
+    #: Multiplier on workload footprints *only* (caches unchanged) —
+    #: sweeps the working-set-to-cache ratio for capacity-sensitivity
+    #: studies (the Sec. V-C "aggregate L2 capacity is insufficient"
+    #: exceptions).
+    footprint_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_chiplets <= 0:
+            raise ValueError(f"num_chiplets must be positive, got {self.num_chiplets}")
+        if not 0 < self.scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+
+    # ---- derived quantities ---------------------------------------------
+
+    @property
+    def total_cus(self) -> int:
+        """Total CUs across chiplets (Table I: 120/240/360 for 2/4/6)."""
+        return self.cus_per_chiplet * self.num_chiplets
+
+    @property
+    def scaled_l2_size(self) -> int:
+        """Per-chiplet L2 capacity after applying ``scale``."""
+        return max(self.line_size * self.l2_assoc, int(self.l2_size * self.scale))
+
+    @property
+    def scaled_l3_size(self) -> int:
+        """Shared L3 capacity after applying ``scale``."""
+        return max(self.line_size * self.l3_assoc, int(self.l3_size * self.scale))
+
+    @property
+    def aggregate_l2_size(self) -> int:
+        """Sum of all chiplets' scaled L2 capacities."""
+        return self.scaled_l2_size * self.num_chiplets
+
+    @property
+    def scaled_page_lines(self) -> int:
+        """First-touch placement granularity in lines, at simulation scale
+        (a 4 KB page = 64 lines at paper scale)."""
+        paper_lines = 4096 // self.line_size
+        return max(1, int(paper_lines * self.scale))
+
+    @property
+    def chiplet_mlp(self) -> float:
+        """Effective concurrent memory accesses per chiplet."""
+        return self.mlp_per_cu * self.cus_per_chiplet
+
+    @property
+    def effective_overhead_scale(self) -> float:
+        """Fixed-overhead scale (follows ``scale`` unless overridden)."""
+        return self.scale if self.overhead_scale < 0 else self.overhead_scale
+
+    @property
+    def cp_dispatch_cycles(self) -> float:
+        """CP dispatch latency in GPU cycles, at simulation scale."""
+        return (self.cp_dispatch_latency_s * self.gpu_clock_hz
+                * self.effective_overhead_scale)
+
+    @property
+    def cpelide_op_cycles(self) -> float:
+        """CPElide table-operation latency in GPU cycles, at simulation
+        scale."""
+        return (self.cpelide_op_latency_s * self.gpu_clock_hz
+                * self.effective_overhead_scale)
+
+    def seconds(self, cycles: float) -> float:
+        """Convert GPU cycles to seconds."""
+        return cycles / self.gpu_clock_hz
+
+    def cycles(self, seconds: float) -> float:
+        """Convert seconds to GPU cycles."""
+        return seconds * self.gpu_clock_hz
+
+    def with_chiplets(self, num_chiplets: int) -> "GPUConfig":
+        """Return a copy configured with ``num_chiplets`` (Sec. IV-E)."""
+        return dataclasses.replace(self, num_chiplets=num_chiplets)
+
+    def with_scale(self, scale: float) -> "GPUConfig":
+        """Return a copy with a different simulator scale factor."""
+        return dataclasses.replace(self, scale=scale)
+
+    def with_footprint_factor(self, factor: float) -> "GPUConfig":
+        """Return a copy whose workloads allocate ``factor``x footprints
+        against unchanged caches (capacity-sensitivity sweeps)."""
+        if factor <= 0:
+            raise ValueError(f"footprint_factor must be positive, got {factor}")
+        return dataclasses.replace(self, footprint_factor=factor)
+
+    def table_rows(self) -> "list[tuple[str, str]]":
+        """Render the configuration as (feature, value) rows like Table I."""
+        return [
+            ("GPU Clock", f"{self.gpu_clock_hz / 1e6:.0f} MHz"),
+            ("CUs/Chiplet", str(self.cus_per_chiplet)),
+            ("Num Chiplets", str(self.num_chiplets)),
+            ("Total CUs", str(self.total_cus)),
+            ("Num SIMD units/CU", str(self.simd_per_cu)),
+            ("Max WF/SIMD unit", str(self.max_wf_per_simd)),
+            ("Num Compute Queues", str(self.num_compute_queues)),
+            ("L1 Data Cache / CU", f"{self.l1d_size // KB} KB, {self.line_size}B line"),
+            ("L1 Latency", f"{self.l1_latency} cycles"),
+            ("LDS Size / CU", f"{self.lds_size // KB} KB"),
+            ("LDS Latency", f"{self.lds_latency} cycles"),
+            ("L2 Cache/chiplet",
+             f"{self.l2_size // MB} MB, {self.line_size}B line, {self.l2_assoc}-way"),
+            ("Local/Remote L2 Latency",
+             f"{self.l2_local_latency}/{self.l2_remote_latency} cycles"),
+            ("L2 Write Policy", "Write-back with write allocate"),
+            ("L3 Size",
+             f"{self.l3_size // MB} MB, {self.line_size}B line, {self.l3_assoc}-way"),
+            ("L3 Latency", f"{self.l3_latency} cycles"),
+            ("Main Memory", "16 GB HBM, 4H stacks, 1000 MHz"),
+            ("Inter-chiplet Interconnect BW",
+             f"{self.inter_chiplet_bandwidth / 1e9:.0f} GB/s"),
+            ("Scheduling Policy", "Static Kernel Partitioning"),
+        ]
+
+
+def monolithic_equivalent(config: GPUConfig) -> GPUConfig:
+    """Build the infeasible-to-manufacture monolithic GPU of Fig. 2.
+
+    The monolithic equivalent has the same total CU count, the same
+    aggregate L2 capacity, and the same aggregate L2/DRAM bandwidth, but
+    as a *single* die: its L2 is the shared ordering point for all CUs,
+    so kernel-boundary synchronization never invalidates or flushes it
+    and there are no remote accesses.
+    """
+    return dataclasses.replace(
+        config,
+        num_chiplets=1,
+        cus_per_chiplet=config.cus_per_chiplet * config.num_chiplets,
+        l2_size=config.l2_size * config.num_chiplets,
+        l2_bandwidth_per_chiplet=(config.l2_bandwidth_per_chiplet
+                                  * config.num_chiplets),
+        dram_bandwidth_per_stack=(config.dram_bandwidth_per_stack
+                                  * config.num_chiplets),
+    )

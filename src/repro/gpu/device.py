@@ -1,0 +1,206 @@
+"""The MCM-GPU device: chiplets, shared L3, DRAM, home map, meters.
+
+The device owns all hardware state and the per-kernel measurement context
+(one :class:`~repro.interconnect.noc.TrafficMeter` plus per-chiplet
+:class:`~repro.metrics.stats.AccessCounts`). Coherence protocols route
+accesses through the helpers here; the helpers do all traffic/energy-
+relevant accounting so protocols stay declarative.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+from repro.interconnect.crossbar import CPCrossbar
+from repro.interconnect.links import InterChipletLinks
+from repro.interconnect.noc import TrafficMeter
+from repro.memory.address import HomeMap
+from repro.memory.cache import SetAssocCache, WritePolicy
+from repro.memory.dram import DRAMModel
+from repro.memory.l1 import L1Filter
+from repro.memory.translation import AddressTranslator
+from repro.metrics.stats import AccessCounts
+from repro.gpu.chiplet import Chiplet
+from repro.cp.local_cp import LocalCP
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.gpu.config import GPUConfig
+
+
+class Device:
+    """All hardware state of one simulated MCM-GPU."""
+
+    def __init__(self, config: "GPUConfig",
+                 l2_policy: WritePolicy = WritePolicy.WRITE_BACK) -> None:
+        self.config = config
+        self.chiplets: List[Chiplet] = [
+            Chiplet(i, config, l2_policy) for i in range(config.num_chiplets)
+        ]
+        self.l3 = SetAssocCache(
+            size_bytes=config.scaled_l3_size,
+            assoc=config.l3_assoc,
+            line_size=config.line_size,
+            policy=WritePolicy.WRITE_BACK,
+            name="L3",
+        )
+        self.dram = DRAMModel(
+            num_stacks=config.num_chiplets,
+            latency_cycles=config.dram_latency,
+            bandwidth_bytes_per_sec=config.dram_bandwidth_per_stack,
+        )
+        self.home_map = HomeMap(config.num_chiplets,
+                                lines_per_page=config.scaled_page_lines)
+        self.l1_filter = L1Filter(config.l1_repeat_hit_rate)
+        self.cp_xbar = CPCrossbar(config.cp_xbar_unicast_cycles,
+                                  config.cp_xbar_broadcast_cycles)
+        self.links = InterChipletLinks(
+            total_bandwidth_bytes_per_sec=config.inter_chiplet_bandwidth,
+            extra_latency_cycles=config.l2_remote_latency - config.l2_local_latency,
+        )
+        self.local_cps: List[LocalCP] = [
+            LocalCP(i, self) for i in range(config.num_chiplets)
+        ]
+        # Virtual-to-physical translation for the Sec. VI range-based
+        # flush extension (software hints are virtual, L2s physical).
+        self.translator = AddressTranslator()
+        # Per-kernel measurement context; the simulator swaps these.
+        self.traffic = TrafficMeter()
+        self.counts: List[AccessCounts] = [
+            AccessCounts() for _ in range(config.num_chiplets)
+        ]
+
+    # ------------------------------------------------------------------
+    # Measurement context
+    # ------------------------------------------------------------------
+
+    def begin_kernel(self) -> None:
+        """Reset the per-kernel meters (the simulator harvests them first)."""
+        self.traffic = TrafficMeter()
+        self.counts = [AccessCounts() for _ in range(self.config.num_chiplets)]
+
+    def merged_counts(self) -> AccessCounts:
+        """Device-wide access counts for the current kernel."""
+        total = AccessCounts()
+        for c in self.counts:
+            total.merge(c)
+        return total
+
+    # ------------------------------------------------------------------
+    # Address / placement helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def l2s(self) -> List[SetAssocCache]:
+        """Per-chiplet L2 caches."""
+        return [c.l2 for c in self.chiplets]
+
+    def home_of(self, line: int, toucher: int) -> int:
+        """Home chiplet of ``line`` under first-touch placement."""
+        return self.home_map.home_of_line(line, toucher)
+
+    def set_l2_policy(self, policy: WritePolicy) -> None:
+        """Switch every L2's write policy (protocols call this once,
+        before any accesses)."""
+        for chiplet in self.chiplets:
+            if chiplet.l2.resident_lines:
+                raise RuntimeError("cannot change L2 policy after accesses")
+            chiplet.l2.policy = policy
+
+    # ------------------------------------------------------------------
+    # L3 / DRAM paths (all traffic accounting lives here)
+    # ------------------------------------------------------------------
+
+    def fetch_from_l3(self, requester: int, line: int) -> None:
+        """Serve an L2 refill from the L3 (falling through to DRAM)."""
+        counts = self.counts[requester]
+        self.traffic.l2_request()
+        self.traffic.l2_data()
+        hit, evicted = self.l3.access(line, is_write=False)
+        if hit:
+            counts.l3_hits += 1
+        else:
+            counts.l3_misses += 1
+            counts.dram_reads += 1
+            self.dram.record_read(self._stack_of(line))
+        self._absorb_l3_eviction(requester, evicted)
+
+    def l3_write(self, requester: int, line: int,
+                 through_to_dram: bool = False) -> None:
+        """Write a line into the L3 (write-through from an L2).
+
+        ``through_to_dram`` additionally commits the write to memory
+        (HMG sends writes through to memory, Sec. IV-C).
+        """
+        counts = self.counts[requester]
+        self.traffic.l2_data()
+        _, evicted = self.l3.access(line, is_write=not through_to_dram)
+        if through_to_dram:
+            counts.dram_writes += 1
+            self.dram.record_write(self._stack_of(line))
+        self._absorb_l3_eviction(requester, evicted)
+
+    def writeback_line(self, chiplet: int, line: int) -> None:
+        """Absorb one dirty L2 victim into the L3."""
+        self.traffic.l2_data()
+        evicted = self.l3.fill(line, dirty=True)
+        self._absorb_l3_eviction(chiplet, evicted)
+
+    def _absorb_l3_eviction(self, requester: int, evicted) -> None:
+        if evicted is not None and evicted.dirty:
+            self.counts[requester].dram_writes += 1
+            self.dram.record_write(self._stack_of(evicted.line))
+
+    def _stack_of(self, line: int) -> int:
+        home = self.home_map.peek_home_of_line(line)
+        return home if home is not None else 0
+
+    # ------------------------------------------------------------------
+    # Whole-cache synchronization (implicit acquire / release)
+    # ------------------------------------------------------------------
+
+    def flush_l2(self, chiplet: int) -> int:
+        """Implicit release: write back all of ``chiplet``'s dirty L2 lines
+        to the L3, retaining clean copies. Returns lines flushed."""
+        flushed = self.chiplets[chiplet].l2.flush_dirty()
+        for line in flushed:
+            self.writeback_line(chiplet, line)
+        return len(flushed)
+
+    def invalidate_l2(self, chiplet: int) -> int:
+        """Implicit acquire: drop every line in ``chiplet``'s L2. Dirty
+        lines (if the release was skipped) are written back first for
+        safety. Returns lines invalidated."""
+        dropped, dirty = self.chiplets[chiplet].l2.invalidate_all()
+        for line in dirty:
+            self.writeback_line(chiplet, line)
+        return dropped
+
+    def flush_l2_ranges(self, chiplet: int,
+                        ranges: Sequence[Tuple[int, int]]) -> int:
+        """Range-restricted release (the Sec. VI hardware extension).
+
+        The virtual ranges are broken into page-wise requests and
+        translated (Sec. VI), then each page's lines are walked at the L2.
+        """
+        l2 = self.chiplets[chiplet].l2
+        flushed = 0
+        for span in self.translator.translate_ranges(ranges):
+            for line in span.lines():
+                if l2.flush_line(line):
+                    self.writeback_line(chiplet, line)
+                    flushed += 1
+        return flushed
+
+    def invalidate_l2_ranges(self, chiplet: int,
+                             ranges: Sequence[Tuple[int, int]]) -> int:
+        """Range-restricted acquire (the Sec. VI hardware extension)."""
+        l2 = self.chiplets[chiplet].l2
+        invalidated = 0
+        for span in self.translator.translate_ranges(ranges):
+            for line in span.lines():
+                present, dirty = l2.invalidate_line(line)
+                if dirty:
+                    self.writeback_line(chiplet, line)
+                if present:
+                    invalidated += 1
+        return invalidated

@@ -1,0 +1,323 @@
+"""Top-level trace-driven simulator.
+
+Drives one workload through one (config, protocol) pair:
+
+1. the runtime side builds each kernel's packet (with the Sec. III-B
+   software annotations) and submits it to the global CP;
+2. the global CP performs the protocol's launch-time synchronization and
+   places WGs (static kernel-wide partitioning);
+3. the trace generator sweeps each argument's per-chiplet lines through
+   the L1 filter and the protocol's access path;
+4. the protocol's completion hook runs (Baseline's implicit release);
+5. the timing model converts the harvested counters into cycles.
+
+Streams: kernels on different streams accumulate onto separate stream
+clocks (they may run concurrently when bound to disjoint chiplet subsets);
+the run's wall time is the slowest stream's clock.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.coherence.base import CoherenceProtocol, make_protocol
+from repro.cp.driver import GPUDriver
+from repro.cp.global_cp import GlobalCP
+from repro.cp.local_cp import SyncOpKind
+from repro.energy.model import EnergyModel
+from repro.gpu.config import GPUConfig
+from repro.gpu.device import Device
+from repro.metrics.stats import KernelMetrics, RunMetrics, SyncCounts
+from repro.timing.model import TimingModel
+from repro.workloads.base import (
+    AccessKind,
+    Kernel,
+    Workload,
+    lines_for_arg,
+)
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one workload run."""
+
+    metrics: RunMetrics
+    energy: Dict[str, float]
+    wall_cycles: float
+    protocol: str
+    num_chiplets: int
+
+    @property
+    def cycles(self) -> float:
+        """Wall-clock cycles of the run."""
+        return self.wall_cycles
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar summary for the experiment harnesses."""
+        out = self.metrics.summary()
+        out["wall_cycles"] = self.wall_cycles
+        out["energy_total"] = self.energy["total"]
+        return out
+
+
+class Simulator:
+    """Runs workloads against a configured protocol.
+
+    ``protocol`` is either a registry name (see
+    :func:`repro.coherence.base.make_protocol`) or a factory callable
+    ``(config, device) -> CoherenceProtocol`` for custom protocols (used
+    by the Sec. VI scaling study).
+    """
+
+    def __init__(self, config: GPUConfig, protocol="baseline",
+                 energy_model: Optional[EnergyModel] = None,
+                 scheduler: str = "static") -> None:
+        if scheduler not in ("static", "locality"):
+            raise ValueError(
+                f"scheduler must be 'static' or 'locality', got {scheduler!r}")
+        self.config = config
+        self.protocol_name = protocol
+        self.scheduler = scheduler
+        self.energy_model = energy_model or EnergyModel()
+
+    # ------------------------------------------------------------------
+
+    def run(self, workload: Workload) -> SimulationResult:
+        """Simulate ``workload`` end to end and return its metrics."""
+        config = self.config
+        device = Device(config)
+        if callable(self.protocol_name):
+            protocol = self.protocol_name(config, device)
+        else:
+            protocol = make_protocol(self.protocol_name, config, device)
+        if self.scheduler == "locality":
+            from repro.cp.locality_scheduler import LocalityAwareWGScheduler
+            wg_scheduler = LocalityAwareWGScheduler(config.num_chiplets)
+        else:
+            wg_scheduler = None
+        global_cp = GlobalCP(config, device, protocol,
+                             wg_scheduler=wg_scheduler)
+        driver = GPUDriver(config)
+        timing = TimingModel(config)
+        metrics = RunMetrics(workload=workload.name,
+                             protocol=protocol.name,
+                             num_chiplets=config.num_chiplets)
+        stream_clocks: Dict[int, float] = defaultdict(float)
+
+        for kernel in workload.kernels:
+            km = self._run_kernel(kernel, driver, device, protocol,
+                                  global_cp, timing)
+            metrics.add_kernel(km)
+            stream_clocks[kernel.stream_id] += km.cycles
+
+        finalize = self._finalize(device, protocol, timing,
+                                  len(workload.kernels))
+        if finalize is not None:
+            metrics.add_kernel(finalize)
+            slowest = max(stream_clocks, key=lambda s: stream_clocks[s])
+            stream_clocks[slowest] += finalize.cycles
+
+        wall = max(stream_clocks.values()) if stream_clocks else 0.0
+        energy = self.energy_model.breakdown(metrics.total_accesses(),
+                                             metrics.total_traffic())
+        return SimulationResult(metrics=metrics, energy=energy,
+                                wall_cycles=wall,
+                                protocol=protocol.name,
+                                num_chiplets=config.num_chiplets)
+
+    # ------------------------------------------------------------------
+
+    def _run_kernel(self, kernel: Kernel, driver: GPUDriver, device: Device,
+                    protocol: CoherenceProtocol, global_cp: GlobalCP,
+                    timing: TimingModel) -> KernelMetrics:
+        packet = driver.enqueue_kernel(kernel)
+        device.begin_kernel()
+        driver.submit(global_cp)
+        decision = global_cp.launch_next()
+        assert decision is not None
+        placement = decision.placement
+
+        total_lines = self._run_trace(kernel, packet.kernel_id, device,
+                                      protocol, placement)
+        self._record_lds(kernel, device, placement, total_lines)
+        completion = global_cp.complete(packet, placement)
+
+        lines_flushed = decision.lines_flushed + completion.lines_flushed
+        lines_invalidated = (decision.lines_invalidated
+                             + completion.lines_invalidated)
+        had_ops = bool(decision.launch_ops or completion.ops)
+        compute_cycles = kernel.compute_intensity * total_lines
+        kt = timing.kernel_time(
+            placement=placement,
+            per_chiplet_counts=device.counts,
+            traffic=device.traffic,
+            compute_cycles=compute_cycles,
+            sync_lines_flushed=lines_flushed,
+            sync_lines_invalidated=lines_invalidated,
+            had_sync_ops=had_ops,
+            cp_overhead_cycles=decision.cp_overhead_cycles,
+            mlp_factor=self._occupancy_factor(kernel),
+        )
+
+        sync = self._sync_counts(decision, completion, protocol)
+        return KernelMetrics(
+            kernel_name=kernel.name,
+            kernel_index=packet.kernel_id,
+            cycles=kt.total_cycles,
+            compute_cycles=kt.compute_cycles,
+            memory_cycles=kt.memory_cycles,
+            sync_cycles=kt.sync_cycles,
+            cp_overhead_cycles=decision.cp_overhead_cycles,
+            accesses=device.merged_counts(),
+            sync=sync,
+            traffic=device.traffic,
+            chiplets_used=placement.num_chiplets,
+        )
+
+    def _occupancy_factor(self, kernel: Kernel) -> float:
+        """Occupancy-derived MLP factor (1.0 for undeclared resources)."""
+        if kernel.resources is None:
+            return 1.0
+        from repro.cp.dispatcher import LocalDispatcher
+        fraction = LocalDispatcher(self.config).occupancy(
+            kernel.resources).fraction
+        return max(0.025, min(1.0, fraction))
+
+    # ------------------------------------------------------------------
+
+    def _run_trace(self, kernel: Kernel, kernel_id: int, device: Device,
+                   protocol: CoherenceProtocol, placement) -> int:
+        """Sweep every argument's lines through the protocol.
+
+        Returns the total distinct lines touched (drives compute time).
+        """
+        total_lines = 0
+        caches_remote = protocol.caches_remote_locally
+        for arg in kernel.args:
+            kind = arg.effective_kind
+            for logical, chiplet in enumerate(placement.chiplets):
+                lines = lines_for_arg(arg, logical, placement.num_chiplets,
+                                      kernel_id)
+                if not lines:
+                    continue
+                total_lines += len(lines)
+                self._run_arg_stream(arg, kind, lines, chiplet, device,
+                                     protocol, caches_remote)
+        return total_lines
+
+    def _run_arg_stream(self, arg, kind: AccessKind, lines: List[int],
+                        chiplet: int, device: Device,
+                        protocol: CoherenceProtocol,
+                        caches_remote: bool) -> None:
+        counts = device.counts[chiplet]
+        do_load = kind in (AccessKind.LOAD, AccessKind.LOAD_STORE)
+        do_store = kind in (AccessKind.STORE, AccessKind.LOAD_STORE)
+
+        local_lines = 0
+        for line in lines:
+            if do_load:
+                protocol.access(chiplet, line, is_write=False)
+            if do_store:
+                protocol.access(chiplet, line, is_write=True)
+            if device.home_map.peek_home_of_line(line) == chiplet:
+                local_lines += 1
+
+        # Statistical L1 over the load stream: first touches reached the
+        # L2 above; surviving repeat touches are L2 hits by construction.
+        if do_load:
+            res = device.l1_filter.filter(len(lines), arg.touches)
+            counts.l1_accesses += res.l1_accesses
+            counts.l1_hits += res.l1_hits
+            repeats = res.l2_repeats
+            if repeats:
+                device.traffic.l1_request(repeats)
+                device.traffic.l1_data(repeats)
+                if caches_remote:
+                    counts.l2_local_hits += repeats
+                else:
+                    local_share = local_lines / len(lines)
+                    local_rep = int(round(repeats * local_share))
+                    remote_rep = repeats - local_rep
+                    counts.l2_local_hits += local_rep
+                    counts.l2_remote_hits += remote_rep
+                    if remote_rep:
+                        device.traffic.remote_request(remote_rep)
+                        device.traffic.remote_data(remote_rep)
+        if do_store:
+            # Stores are write-through/no-allocate at the L1: every store
+            # touches the L1 once on its way out.
+            counts.l1_accesses += len(lines)
+
+    def _record_lds(self, kernel: Kernel, device: Device, placement,
+                    total_lines: int) -> None:
+        if kernel.lds_per_line <= 0:
+            return
+        total_lds = int(round(kernel.lds_per_line * total_lines))
+        for chiplet in placement.chiplets:
+            share = placement.share_of(chiplet)
+            amount = int(round(total_lds * share))
+            device.counts[chiplet].lds_accesses += amount
+            device.chiplets[chiplet].lds.record(amount)
+
+    # ------------------------------------------------------------------
+
+    def _sync_counts(self, decision, completion,
+                     protocol: CoherenceProtocol) -> SyncCounts:
+        sync = SyncCounts()
+        all_ops = list(decision.launch_ops) + list(completion.ops)
+        sync.acquires_issued = sum(
+            1 for op in all_ops if op.kind is SyncOpKind.ACQUIRE)
+        sync.releases_issued = sum(
+            1 for op in all_ops if op.kind is SyncOpKind.RELEASE)
+        sync.lines_flushed = (decision.lines_flushed
+                              + completion.lines_flushed)
+        sync.lines_invalidated = (decision.lines_invalidated
+                                  + completion.lines_invalidated)
+        sync.cp_messages = self._drain_xbar_messages(protocol)
+        outcome = getattr(protocol, "last_outcome", None)
+        if outcome is not None:
+            sync.acquires_elided = outcome.acquires_elided
+            sync.releases_elided = outcome.releases_elided
+        sync.merge(protocol.drain_sync_counts())
+        return sync
+
+    def _drain_xbar_messages(self, protocol: CoherenceProtocol) -> int:
+        xbar = protocol.device.cp_xbar
+        sent = xbar.messages_sent
+        xbar.messages_sent = 0
+        return sent
+
+    # ------------------------------------------------------------------
+
+    def _finalize(self, device: Device, protocol: CoherenceProtocol,
+                  timing: TimingModel,
+                  next_index: int) -> Optional[KernelMetrics]:
+        """Execute the end-of-run release making results host-visible."""
+        ops = protocol.on_run_end()
+        if not ops:
+            return None
+        device.begin_kernel()
+        flushed = 0
+        invalidated = 0
+        for op in ops:
+            ack = device.local_cps[op.chiplet].execute(op)
+            flushed += ack.lines_flushed
+            invalidated += ack.lines_invalidated
+        if flushed == 0 and invalidated == 0:
+            return None
+        sync_cycles = timing.sync_cycles(flushed, invalidated,
+                                         had_sync_ops=True)
+        sync = SyncCounts(releases_issued=len(ops), lines_flushed=flushed,
+                          lines_invalidated=invalidated)
+        return KernelMetrics(
+            kernel_name="__finalize__",
+            kernel_index=next_index,
+            cycles=sync_cycles,
+            sync_cycles=sync_cycles,
+            accesses=device.merged_counts(),
+            sync=sync,
+            traffic=device.traffic,
+            chiplets_used=self.config.num_chiplets,
+        )

@@ -1,0 +1,5 @@
+"""HIP-like runtime API (Listings 1 and 2 of the paper)."""
+
+from repro.hip.runtime import HipRuntime, KernelHandle
+
+__all__ = ["HipRuntime", "KernelHandle"]

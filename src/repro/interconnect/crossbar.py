@@ -1,0 +1,54 @@
+"""Crossbar connecting the global CP to the per-chiplet local CPs.
+
+Sec. IV-B: the global and local CPs communicate over a high-bandwidth
+crossbar with 65 cycles of unicast latency and 100 cycles of broadcast
+latency. CPElide's acquire/release requests, their ACKs, and the final
+"launch enable" message all cross this crossbar and are on the critical
+path, so their latency is modeled (Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass
+class CPCrossbar:
+    """Latency accounting for global-CP <-> local-CP messages.
+
+    Attributes:
+        unicast_cycles: One-to-one message latency (Sec. IV-B: 65 cycles).
+        broadcast_cycles: One-to-all message latency (Sec. IV-B: 100 cycles).
+        messages_sent: Total messages that crossed the crossbar.
+    """
+
+    unicast_cycles: int = 65
+    broadcast_cycles: int = 100
+    messages_sent: int = 0
+
+    def unicast(self, num_targets: int = 1) -> int:
+        """Send to ``num_targets`` chiplets one-by-one; returns the latency
+        in CP cycles of the slowest (they are sent concurrently, so the
+        latency is a single unicast, but each message is counted)."""
+        if num_targets < 0:
+            raise ValueError(f"num_targets must be >= 0, got {num_targets}")
+        if num_targets == 0:
+            return 0
+        self.messages_sent += num_targets
+        return self.unicast_cycles
+
+    def broadcast(self) -> int:
+        """Send one message to every chiplet; returns the latency in CP
+        cycles."""
+        self.messages_sent += 1
+        return self.broadcast_cycles
+
+    def gather_acks(self, senders: Iterable[int]) -> int:
+        """Collect ACKs from ``senders`` (Sec. III-C ACK counting);
+        returns the latency in CP cycles (ACKs travel concurrently)."""
+        count = len(list(senders))
+        if count == 0:
+            return 0
+        self.messages_sent += count
+        return self.unicast_cycles

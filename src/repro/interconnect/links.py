@@ -1,0 +1,32 @@
+"""Inter-chiplet link bandwidth model.
+
+A MCM-GPU's inter-chiplet links do not provide full aggregated LLC/HBM
+bandwidth to each chiplet (Sec. II-A); Table I gives 768 GB/s of
+inter-chiplet interconnect bandwidth. The timing model uses this class to
+convert remote traffic volumes into a bandwidth-bound time floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InterChipletLinks:
+    """Bandwidth/latency parameters of the chiplet crossbar links.
+
+    Attributes:
+        total_bandwidth_bytes_per_sec: Aggregate inter-chiplet bandwidth
+            (Table I: 768 GB/s).
+        extra_latency_cycles: Added latency of crossing a chiplet boundary;
+            Table I implies 390 - 269 = 121 cycles (remote minus local L2).
+    """
+
+    total_bandwidth_bytes_per_sec: float = 768e9
+    extra_latency_cycles: int = 121
+
+    def transfer_seconds(self, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` across the links at full utilization."""
+        if num_bytes < 0:
+            raise ValueError(f"num_bytes must be >= 0, got {num_bytes}")
+        return num_bytes / self.total_bandwidth_bytes_per_sec

@@ -1,0 +1,254 @@
+"""Set-associative cache model with LRU replacement.
+
+Used for the per-chiplet L2 caches and the banked shared L3 (Table I).
+The model operates on *global line indices* (``byte_addr // LINE_SIZE``)
+rather than byte addresses, because every structure in the simulator works
+at line granularity.
+
+Supported behaviours needed by the three evaluated protocols:
+
+* write-back with write-allocate (Baseline/CPElide L2s, Table I),
+* write-through (HMG L2 variant, Sec. IV-C),
+* bulk invalidate (implicit acquire) and bulk flush (implicit release),
+  where a flush *retains a clean copy* of each written-back line
+  (Sec. III-B, "Lazy Acquire/Release": "when a fully dirty line is written
+  back, the cache retains a clean copy of the line"),
+* per-line invalidation (HMG directory-eviction invalidations).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class WritePolicy(enum.Enum):
+    """L2 write policy (Table I / Sec. IV-C)."""
+
+    WRITE_BACK = "write_back"
+    WRITE_THROUGH = "write_through"
+
+
+@dataclass
+class CacheStats:
+    """Per-cache event counters."""
+
+    hits: int = 0
+    misses: int = 0
+    read_hits: int = 0
+    read_misses: int = 0
+    write_hits: int = 0
+    write_misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    lines_flushed: int = 0
+    lines_invalidated: int = 0
+    flush_ops: int = 0
+    invalidate_ops: int = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate ``other`` into ``self``."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A line evicted by an insertion: ``(line, was_dirty)``."""
+
+    line: int
+    dirty: bool
+
+
+class SetAssocCache:
+    """An LRU set-associative cache of line indices.
+
+    Args:
+        size_bytes: Total capacity in bytes.
+        assoc: Associativity (ways per set).
+        line_size: Line size in bytes (default 64, Table I).
+        policy: Write policy for stores.
+        name: Identifier used in diagnostics.
+    """
+
+    def __init__(self, size_bytes: int, assoc: int, line_size: int = 64,
+                 policy: WritePolicy = WritePolicy.WRITE_BACK,
+                 name: str = "cache") -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"{name}: size must be positive, got {size_bytes}")
+        if assoc <= 0:
+            raise ValueError(f"{name}: associativity must be positive, got {assoc}")
+        num_lines = max(1, size_bytes // line_size)
+        # Clamp associativity for tiny (test-scale) caches.
+        self.assoc = min(assoc, num_lines)
+        self.num_sets = max(1, num_lines // self.assoc)
+        self.line_size = line_size
+        self.policy = policy
+        self.name = name
+        self.stats = CacheStats()
+        # set index -> OrderedDict mapping line -> dirty flag (LRU order:
+        # least recently used first).
+        self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def _set_of(self, line: int) -> "OrderedDict[int, bool]":
+        idx = line % self.num_sets
+        cset = self._sets.get(idx)
+        if cset is None:
+            cset = OrderedDict()
+            self._sets[idx] = cset
+        return cset
+
+    def lookup(self, line: int) -> bool:
+        """Return whether ``line`` is resident, without touching LRU state."""
+        cset = self._sets.get(line % self.num_sets)
+        return cset is not None and line in cset
+
+    def access(self, line: int, is_write: bool) -> Tuple[bool, Optional[Eviction]]:
+        """Perform a demand access; allocate on miss.
+
+        Returns ``(hit, eviction)`` where ``eviction`` describes the victim
+        line if the allocation displaced one. Under
+        :attr:`WritePolicy.WRITE_THROUGH`, stores never mark the resident
+        copy dirty (the write is propagated by the caller).
+        """
+        cset = self._set_of(line)
+        dirty = cset.pop(line, None)
+        if dirty is not None:
+            hit = True
+            evicted = None
+            new_dirty = dirty or (is_write and self.policy is WritePolicy.WRITE_BACK)
+        else:
+            hit = False
+            evicted = None
+            if len(cset) >= self.assoc:
+                victim, victim_dirty = cset.popitem(last=False)
+                evicted = Eviction(victim, victim_dirty)
+                self.stats.evictions += 1
+                if victim_dirty:
+                    self.stats.dirty_evictions += 1
+            new_dirty = is_write and self.policy is WritePolicy.WRITE_BACK
+        cset[line] = new_dirty
+        if hit:
+            self.stats.hits += 1
+            if is_write:
+                self.stats.write_hits += 1
+            else:
+                self.stats.read_hits += 1
+        else:
+            self.stats.misses += 1
+            if is_write:
+                self.stats.write_misses += 1
+            else:
+                self.stats.read_misses += 1
+        return hit, evicted
+
+    def fill(self, line: int, dirty: bool = False) -> Optional[Eviction]:
+        """Insert ``line`` without counting a demand access (e.g. a refill
+        performed on behalf of a remote requester). Returns any eviction."""
+        cset = self._set_of(line)
+        prev = cset.pop(line, None)
+        evicted = None
+        if prev is None and len(cset) >= self.assoc:
+            victim, victim_dirty = cset.popitem(last=False)
+            evicted = Eviction(victim, victim_dirty)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.dirty_evictions += 1
+        cset[line] = dirty or bool(prev)
+        return evicted
+
+    # ------------------------------------------------------------------
+    # Synchronization operations (implicit acquire / release)
+    # ------------------------------------------------------------------
+
+    def flush_dirty(self) -> List[int]:
+        """Write back every dirty line, *retaining clean copies*.
+
+        This is an implicit release over the whole cache (the global CP
+        cannot issue physical range flushes, Sec. VI). Returns the list of
+        written-back lines so the caller can account L2->L3 traffic.
+        """
+        flushed: List[int] = []
+        for cset in self._sets.values():
+            for line, dirty in cset.items():
+                if dirty:
+                    cset[line] = False
+                    flushed.append(line)
+        self.stats.flush_ops += 1
+        self.stats.lines_flushed += len(flushed)
+        return flushed
+
+    def invalidate_all(self) -> Tuple[int, List[int]]:
+        """Drop every resident line (implicit acquire over the whole cache).
+
+        Returns ``(num_dropped, dirty_lines)``; dirty lines must be written
+        back by the caller before the drop is safe, so they are reported.
+        """
+        dropped = 0
+        dirty_lines: List[int] = []
+        for cset in self._sets.values():
+            for line, dirty in cset.items():
+                if dirty:
+                    dirty_lines.append(line)
+            dropped += len(cset)
+            cset.clear()
+        self.stats.invalidate_ops += 1
+        self.stats.lines_invalidated += dropped
+        return dropped, dirty_lines
+
+    def invalidate_line(self, line: int) -> Tuple[bool, bool]:
+        """Drop a single line. Returns ``(was_present, was_dirty)``."""
+        cset = self._sets.get(line % self.num_sets)
+        if cset is None:
+            return False, False
+        dirty = cset.pop(line, None)
+        if dirty is None:
+            return False, False
+        self.stats.lines_invalidated += 1
+        return True, dirty
+
+    def flush_line(self, line: int) -> bool:
+        """Write back a single line if dirty (retaining a clean copy).
+
+        Returns whether a writeback occurred.
+        """
+        cset = self._sets.get(line % self.num_sets)
+        if cset is None or not cset.get(line, False):
+            return False
+        cset[line] = False
+        self.stats.lines_flushed += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(cset) for cset in self._sets.values())
+
+    @property
+    def dirty_lines(self) -> int:
+        """Number of lines currently dirty."""
+        return sum(1 for cset in self._sets.values() for d in cset.values() if d)
+
+    def is_dirty(self, line: int) -> bool:
+        """Whether ``line`` is resident and dirty."""
+        cset = self._sets.get(line % self.num_sets)
+        return bool(cset) and cset.get(line, False)
+
+    @property
+    def capacity_lines(self) -> int:
+        """Total capacity in lines."""
+        return self.num_sets * self.assoc
+
+    def __repr__(self) -> str:
+        return (f"SetAssocCache({self.name}, {self.capacity_lines} lines, "
+                f"{self.assoc}-way, {self.policy.value})")

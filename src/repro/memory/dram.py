@@ -1,0 +1,66 @@
+"""HBM main-memory model.
+
+Table I: 16 GB HBM in 4-high stacks at 1000 MHz; the device's HBM is
+physically divided across chiplets (Sec. II-A), so each chiplet owns a
+stack and a slice of the physical address space (determined by the
+first-touch home map). The model accounts access counts per chiplet-stack
+and exposes latency/bandwidth parameters to the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class DRAMModel:
+    """Per-stack HBM access accounting.
+
+    Attributes:
+        num_stacks: One HBM stack per chiplet.
+        latency_cycles: Average access latency seen past the L3.
+        bandwidth_bytes_per_sec: Peak per-stack bandwidth.
+    """
+
+    num_stacks: int
+    latency_cycles: int = 500
+    bandwidth_bytes_per_sec: float = 256e9
+    reads: List[int] = field(default_factory=list)
+    writes: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_stacks <= 0:
+            raise ValueError(f"num_stacks must be positive, got {self.num_stacks}")
+        if not self.reads:
+            self.reads = [0] * self.num_stacks
+        if not self.writes:
+            self.writes = [0] * self.num_stacks
+
+    def record_read(self, stack: int, count: int = 1) -> None:
+        """Record ``count`` line reads served by ``stack``."""
+        self.reads[stack] += count
+
+    def record_write(self, stack: int, count: int = 1) -> None:
+        """Record ``count`` line writes absorbed by ``stack``."""
+        self.writes[stack] += count
+
+    @property
+    def total_reads(self) -> int:
+        """Line reads across all stacks."""
+        return sum(self.reads)
+
+    @property
+    def total_writes(self) -> int:
+        """Line writes across all stacks."""
+        return sum(self.writes)
+
+    @property
+    def total_accesses(self) -> int:
+        """All line accesses across all stacks."""
+        return self.total_reads + self.total_writes
+
+    def reset(self) -> None:
+        """Clear all counters."""
+        self.reads = [0] * self.num_stacks
+        self.writes = [0] * self.num_stacks

@@ -1,0 +1,37 @@
+"""Local Data Share (LDS) scratchpad model.
+
+Each CU has a 64 KB software-managed scratchpad (Table I). The LDS is not
+coherent and is unaffected by kernel-boundary synchronization, so the model
+only accounts access counts for the energy breakdown (Fig. 9) and the
+timing model's compute-phase overlap. Workloads declare their LDS traffic
+explicitly (e.g. LUD is LDS-heavy, Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LocalDataShare:
+    """Aggregate LDS access accounting for one chiplet.
+
+    Attributes:
+        size_bytes: Per-CU LDS capacity (Table I: 64 KB).
+        latency_cycles: LDS access latency (Table I: 65 cycles).
+        accesses: Total LDS accesses recorded so far.
+    """
+
+    size_bytes: int = 64 * 1024
+    latency_cycles: int = 65
+    accesses: int = 0
+
+    def record(self, count: int) -> None:
+        """Record ``count`` LDS accesses."""
+        if count < 0:
+            raise ValueError(f"LDS access count must be >= 0, got {count}")
+        self.accesses += count
+
+    def reset(self) -> None:
+        """Clear the access counter."""
+        self.accesses = 0

@@ -1,0 +1,15 @@
+"""Metrics: per-kernel counters, run aggregation, and report helpers."""
+
+from repro.metrics.stats import AccessCounts, KernelMetrics, RunMetrics, SyncCounts
+from repro.metrics.report import format_table, geomean, normalize, speedup
+
+__all__ = [
+    "AccessCounts",
+    "KernelMetrics",
+    "RunMetrics",
+    "SyncCounts",
+    "format_table",
+    "geomean",
+    "normalize",
+    "speedup",
+]

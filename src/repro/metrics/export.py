@@ -1,0 +1,78 @@
+"""CSV export for experiment results.
+
+Downstream analysis (spreadsheets, pandas, plotting scripts) wants flat
+tables; this module flattens a sweep's `MatrixResult` or a single run's
+`RunMetrics` into CSV text, one row per (workload, protocol, chiplets)
+cell or per dynamic kernel.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.experiments.runner import MatrixResult
+    from repro.metrics.stats import RunMetrics
+
+#: Per-cell columns exported by :func:`matrix_to_csv`.
+MATRIX_COLUMNS = (
+    "workload", "protocol", "chiplets", "wall_cycles",
+    "speedup_vs_baseline", "l2_miss_rate", "dram_accesses",
+    "traffic_flits", "remote_flits", "acquires_issued", "releases_issued",
+    "acquires_elided", "releases_elided", "energy_j",
+)
+
+
+def matrix_to_csv(matrix: "MatrixResult") -> str:
+    """Flatten a sweep into CSV text (header + one row per cell)."""
+    from repro.energy.model import EnergyModel
+
+    model = EnergyModel()
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(MATRIX_COLUMNS)
+    for (workload, protocol, chiplets), result in matrix.cells.items():
+        acc = result.metrics.total_accesses()
+        sync = result.metrics.total_sync()
+        traffic = result.metrics.total_traffic()
+        try:
+            speedup = matrix.speedup_over_baseline(workload, protocol,
+                                                   chiplets)
+        except KeyError:
+            speedup = float("nan")
+        writer.writerow([
+            workload, protocol, chiplets, f"{result.wall_cycles:.3f}",
+            f"{speedup:.6f}", f"{acc.l2_miss_rate:.6f}", acc.dram_accesses,
+            traffic.total, traffic.remote, sync.acquires_issued,
+            sync.releases_issued, sync.acquires_elided,
+            sync.releases_elided,
+            f"{result.metrics.energy(model)['total']:.6e}",
+        ])
+    return out.getvalue()
+
+
+#: Per-kernel columns exported by :func:`run_to_csv`.
+KERNEL_COLUMNS = (
+    "kernel_index", "kernel_name", "cycles", "compute_cycles",
+    "memory_cycles", "sync_cycles", "chiplets_used", "l2_hits",
+    "l2_misses", "dram_accesses", "lines_flushed", "lines_invalidated",
+)
+
+
+def run_to_csv(metrics: "RunMetrics") -> str:
+    """Flatten one run into CSV text (one row per dynamic kernel)."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(KERNEL_COLUMNS)
+    for km in metrics.kernels:
+        writer.writerow([
+            km.kernel_index, km.kernel_name, f"{km.cycles:.3f}",
+            f"{km.compute_cycles:.3f}", f"{km.memory_cycles:.3f}",
+            f"{km.sync_cycles:.3f}", km.chiplets_used,
+            km.accesses.l2_hits, km.accesses.l2_misses,
+            km.accesses.dram_accesses, km.sync.lines_flushed,
+            km.sync.lines_invalidated,
+        ])
+    return out.getvalue()

@@ -1,0 +1,61 @@
+"""Reporting helpers: geometric means, normalization, ASCII tables.
+
+The paper reports results normalized to Baseline per chiplet count
+(Fig. 8 caption) and averages across workloads; these helpers implement
+those conventions so every experiment module formats output the same way.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; returns 0.0 for an empty input."""
+    vals = [v for v in values]
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def speedup(baseline_cycles: float, cycles: float) -> float:
+    """Speedup of ``cycles`` relative to ``baseline_cycles`` (>1 is faster)."""
+    if cycles <= 0:
+        raise ValueError(f"cycles must be positive, got {cycles}")
+    return baseline_cycles / cycles
+
+
+def normalize(values: Mapping[str, float], baseline_key: str) -> Dict[str, float]:
+    """Normalize every value to ``values[baseline_key]`` (Fig. 8/9/10 style)."""
+    base = values[baseline_key]
+    if base == 0:
+        raise ValueError(f"baseline value for {baseline_key!r} is zero")
+    return {k: v / base for k, v in values.items()}
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table (the harnesses print these)."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,197 @@
+"""Counters collected per kernel and aggregated per run.
+
+Every quantity the paper's figures report is derived from these counters:
+Fig. 8 from kernel cycles, Fig. 9 from access counts fed to the energy
+model, Fig. 10 from the traffic meters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List
+
+from repro.interconnect.noc import TrafficMeter
+
+
+@dataclass
+class AccessCounts:
+    """Memory-access event counts for one kernel (device-wide).
+
+    ``l2_local_*`` are requests a chiplet makes to its own L2;
+    ``l2_remote_*`` are requests served at another chiplet's L2 (Baseline /
+    CPElide forward remote requests to the home node; HMG caches remotely
+    fetched lines locally, so its remote counts are home-node fetches).
+    """
+
+    l1_accesses: int = 0
+    l1_hits: int = 0
+    lds_accesses: int = 0
+    l2_local_hits: int = 0
+    l2_local_misses: int = 0
+    l2_remote_hits: int = 0
+    l2_remote_misses: int = 0
+    l2_writethroughs: int = 0
+    l3_hits: int = 0
+    l3_misses: int = 0
+    dram_reads: int = 0
+    dram_writes: int = 0
+    #: Coherence-protocol stalls: inter-chiplet invalidation round trips
+    #: a request waits on (HMG sharer invalidations, Sec. V-B).
+    coherence_stalls: int = 0
+
+    def merge(self, other: "AccessCounts") -> None:
+        """Accumulate ``other`` into ``self``."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    @property
+    def l2_accesses(self) -> int:
+        """All L2 demand accesses (local + remote)."""
+        return (self.l2_local_hits + self.l2_local_misses
+                + self.l2_remote_hits + self.l2_remote_misses)
+
+    @property
+    def l2_hits(self) -> int:
+        """All L2 hits."""
+        return self.l2_local_hits + self.l2_remote_hits
+
+    @property
+    def l2_misses(self) -> int:
+        """All L2 misses."""
+        return self.l2_local_misses + self.l2_remote_misses
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """L2 miss rate over demand accesses (0 if no accesses)."""
+        total = self.l2_accesses
+        return self.l2_misses / total if total else 0.0
+
+    @property
+    def dram_accesses(self) -> int:
+        """All DRAM line accesses."""
+        return self.dram_reads + self.dram_writes
+
+
+@dataclass
+class SyncCounts:
+    """Synchronization-operation counts for one kernel boundary.
+
+    CPElide's whole contribution is visible here: elided acquires/releases
+    versus issued ones, and the flush/invalidate line volumes that the
+    issued operations moved.
+    """
+
+    acquires_issued: int = 0
+    releases_issued: int = 0
+    acquires_elided: int = 0
+    releases_elided: int = 0
+    lines_flushed: int = 0
+    lines_invalidated: int = 0
+    dir_evictions: int = 0
+    dir_invalidations: int = 0
+    cp_messages: int = 0
+
+    def merge(self, other: "SyncCounts") -> None:
+        """Accumulate ``other`` into ``self``."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+
+@dataclass
+class KernelMetrics:
+    """Everything measured for one dynamic kernel."""
+
+    kernel_name: str
+    kernel_index: int
+    cycles: float = 0.0
+    compute_cycles: float = 0.0
+    memory_cycles: float = 0.0
+    sync_cycles: float = 0.0
+    #: Portion of ``sync_cycles`` spent on the CP-side critical path
+    #: (dispatch, table ops, crossbar); the rest is flush/invalidate
+    #: service time at the caches.
+    cp_overhead_cycles: float = 0.0
+    accesses: AccessCounts = field(default_factory=AccessCounts)
+    sync: SyncCounts = field(default_factory=SyncCounts)
+    traffic: TrafficMeter = field(default_factory=TrafficMeter)
+    chiplets_used: int = 0
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated metrics for one (workload, config, protocol) run."""
+
+    workload: str
+    protocol: str
+    num_chiplets: int
+    kernels: List[KernelMetrics] = field(default_factory=list)
+
+    def add_kernel(self, km: KernelMetrics) -> None:
+        """Record one dynamic kernel's metrics."""
+        self.kernels.append(km)
+
+    @property
+    def total_cycles(self) -> float:
+        """End-to-end cycles (kernels execute back-to-back in a stream)."""
+        return sum(k.cycles for k in self.kernels)
+
+    @property
+    def total_sync_cycles(self) -> float:
+        """Cycles spent on synchronization across all kernel boundaries."""
+        return sum(k.sync_cycles for k in self.kernels)
+
+    @property
+    def total_sync_service_cycles(self) -> float:
+        """Flush/invalidate service cycles only (excluding the CP-side
+        dispatch/table/crossbar overheads) — what one additional set of
+        acquires/releases would replay (Sec. VI scaling study)."""
+        return sum(k.sync_cycles - k.cp_overhead_cycles
+                   for k in self.kernels)
+
+    @property
+    def num_kernels(self) -> int:
+        """Dynamic kernel count."""
+        return len(self.kernels)
+
+    def total_accesses(self) -> AccessCounts:
+        """Sum of all kernels' access counts."""
+        total = AccessCounts()
+        for k in self.kernels:
+            total.merge(k.accesses)
+        return total
+
+    def total_sync(self) -> SyncCounts:
+        """Sum of all kernels' synchronization counts."""
+        total = SyncCounts()
+        for k in self.kernels:
+            total.merge(k.sync)
+        return total
+
+    def total_traffic(self) -> TrafficMeter:
+        """Sum of all kernels' traffic meters."""
+        total = TrafficMeter()
+        for k in self.kernels:
+            total.merge(k.traffic)
+        return total
+
+    def energy(self, model: "object") -> Dict[str, float]:
+        """Compute the Fig. 9 energy breakdown with ``model``
+        (:class:`repro.energy.EnergyModel`)."""
+        return model.breakdown(self.total_accesses(), self.total_traffic())
+
+    def summary(self) -> Dict[str, float]:
+        """Compact scalar summary used by the experiment harnesses."""
+        acc = self.total_accesses()
+        sync = self.total_sync()
+        traffic = self.total_traffic()
+        return {
+            "cycles": self.total_cycles,
+            "sync_cycles": self.total_sync_cycles,
+            "kernels": float(self.num_kernels),
+            "l2_miss_rate": acc.l2_miss_rate,
+            "dram_accesses": float(acc.dram_accesses),
+            "traffic_flits": float(traffic.total),
+            "remote_flits": float(traffic.remote),
+            "acquires_elided": float(sync.acquires_elided),
+            "releases_elided": float(sync.releases_elided),
+        }

@@ -1,0 +1,6 @@
+"""First-order kernel timing model."""
+
+from repro.timing.latency import LatencyTable
+from repro.timing.model import TimingModel
+
+__all__ = ["LatencyTable", "TimingModel"]

@@ -1,0 +1,45 @@
+"""End-to-end access latencies derived from Table I.
+
+Table I's per-level latencies are end-to-end as seen from the CU (the L3's
+330 cycles already include traversing the L2 path), which is why losing L2
+reuse to implicit synchronization costs tens of percent rather than
+multiples: an L3 hit is only ~23% slower than a local L2 hit. Only DRAM
+adds its latency on top of the L3 path, and remote chiplet traversal adds
+the inter-chiplet hop (390 - 269 cycles) on top of whichever level serves
+the request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.gpu.config import GPUConfig
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Cumulative cycles per access class."""
+
+    l1_hit: float
+    lds: float
+    l2_local_hit: float
+    l2_remote_hit: float
+    l3_local: float       # local L2 miss served by the L3
+    l3_remote: float      # remote L2 miss served by the L3
+    dram: float           # served by HBM
+
+    @classmethod
+    def from_config(cls, config: "GPUConfig") -> "LatencyTable":
+        """Build the cumulative table from Table I's per-level numbers."""
+        remote_hop = config.l2_remote_latency - config.l2_local_latency
+        return cls(
+            l1_hit=config.l1_latency,
+            lds=config.lds_latency,
+            l2_local_hit=config.l2_local_latency,
+            l2_remote_hit=config.l2_remote_latency,
+            l3_local=config.l3_latency,
+            l3_remote=config.l3_latency + remote_hop,
+            dram=config.l3_latency + config.dram_latency,
+        )

@@ -1,0 +1,39 @@
+"""Workload models: the 24 evaluated applications (Table II).
+
+Each application is modeled at the granularity CPElide operates on —
+kernels, the data structures they touch, access modes, per-chiplet address
+ranges, sharing pattern, intra-kernel locality, and compute-vs-memory
+balance — extracted from the paper's per-application descriptions
+(Sec. IV-D, V-A, V-B). See :mod:`repro.workloads.base` for the modeling
+vocabulary and :mod:`repro.workloads.suite` for the registry.
+"""
+
+from repro.workloads.base import (
+    AccessKind,
+    Kernel,
+    KernelArg,
+    PatternKind,
+    Workload,
+    lines_for_arg,
+)
+from repro.workloads.suite import (
+    EXTRA_WORKLOADS,
+    HIGH_REUSE,
+    LOW_REUSE,
+    WORKLOAD_NAMES,
+    build_workload,
+)
+
+__all__ = [
+    "AccessKind",
+    "Kernel",
+    "KernelArg",
+    "PatternKind",
+    "Workload",
+    "lines_for_arg",
+    "EXTRA_WORKLOADS",
+    "HIGH_REUSE",
+    "LOW_REUSE",
+    "WORKLOAD_NAMES",
+    "build_workload",
+]

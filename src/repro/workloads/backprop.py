@@ -1,0 +1,47 @@
+"""Backprop [25] — Rodinia neural-network training.
+
+Input (Table II): 65536 input units. Alternates a forward layer kernel
+and a weight-adjustment kernel over a large input-to-hidden weight matrix.
+Memory-bound with few ALU operations and a load-compute-store phase
+structure, so inter-kernel L2 locality on the weight matrix gives CPElide
+~10% over Baseline (Sec. V-A). At 2 chiplets the aggregate L2 no longer
+holds the footprint and the benefit disappears (Sec. V-C).
+"""
+
+from __future__ import annotations
+
+from repro.cp.packets import AccessMode
+from repro.gpu.config import GPUConfig
+from repro.workloads.base import AccessKind, KernelArg, Workload
+from repro.workloads.common import WorkloadBuilder
+
+#: 65536 input units x 16 hidden units x 4 B weights.
+WEIGHTS_BYTES = 65536 * 16 * 4
+INPUT_BYTES = 65536 * 4
+HIDDEN_BYTES = 16 * 4 * 1024  # hidden partial sums, padded per WG
+EPOCHS = 5
+
+
+def build(config: GPUConfig) -> Workload:
+    """Build the Backprop model."""
+    b = WorkloadBuilder("backprop", config, reuse_class="high",
+                        description="forward + weight-adjust over 4 MB weights")
+    weights = b.buffer("input_weights", WEIGHTS_BYTES)
+    inputs = b.buffer("input_units", INPUT_BYTES)
+    hidden = b.buffer("hidden_partial", HIDDEN_BYTES)
+    delta = b.buffer("hidden_delta", HIDDEN_BYTES)
+
+    def one_epoch(_i: int) -> None:
+        b.kernel("layerforward", [
+            KernelArg(inputs, AccessMode.R, touches=2.0),
+            KernelArg(weights, AccessMode.R),
+            KernelArg(hidden, AccessMode.RW, kind=AccessKind.STORE),
+        ], compute_intensity=9.0, lds_per_line=2.0)
+        b.kernel("adjust_weights", [
+            KernelArg(delta, AccessMode.R, touches=2.0),
+            KernelArg(inputs, AccessMode.R),
+            KernelArg(weights, AccessMode.RW),
+        ], compute_intensity=8.0)
+
+    b.repeat(EPOCHS, one_epoch)
+    return b.build()

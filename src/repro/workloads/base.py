@@ -1,0 +1,264 @@
+"""Workload modeling vocabulary.
+
+A :class:`Workload` is a sequence of :class:`Kernel` dispatches over
+page-aligned buffers. Each :class:`KernelArg` describes how one kernel
+uses one data structure:
+
+* the **access mode** (``R`` / ``R/W``) — the Listing 1 annotation;
+* the **pattern** — how the structure's lines are distributed over the
+  chiplets the kernel runs on (partitioned, shared, stencil-with-halo,
+  random/irregular);
+* the **kind** — pure load, pure store, or read-modify-write;
+* **touches** — average intra-kernel touches per line (L1 locality);
+* **fraction** — the portion of the structure the kernel actually sweeps.
+
+The trace generator (:func:`lines_for_arg`) turns an argument plus the WG
+scheduler's placement into each chiplet's distinct-line access list; the
+same argument also produces the packet's :class:`~repro.cp.packets.ArgAccess`
+annotation, so the information CPElide sees is exactly what the software
+hints of Sec. III-B would carry.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cp.dispatcher import KernelResources
+from repro.cp.packets import AccessMode, ArgAccess, KernelPacket, RangeAnnotation
+from repro.memory.address import LINE_SIZE, AddressSpace, Buffer
+
+
+class PatternKind(enum.Enum):
+    """How a data structure's lines map onto scheduled chiplets."""
+
+    #: Contiguous per-chiplet slices (static kernel-wide partitioning
+    #: over a linearly indexed array) — the common regular GPGPU case.
+    PARTITIONED = "partitioned"
+    #: Every chiplet reads the whole structure (e.g. RNN weight matrices).
+    SHARED = "shared"
+    #: Partitioned plus a halo reaching into neighbour slices (stencils).
+    STENCIL = "stencil"
+    #: Input-dependent lines sampled over the whole structure (graph
+    #: analytics, indirect addressing) — poor first-touch locality.
+    RANDOM = "random"
+    #: Indirect addressing through an index structure; trace-equivalent
+    #: to RANDOM but annotated conservatively as whole-structure.
+    INDIRECT = "indirect"
+
+
+class AccessKind(enum.Enum):
+    """Load/store composition of the sweep over the touched lines."""
+
+    LOAD = "load"
+    STORE = "store"
+    LOAD_STORE = "load_store"
+
+
+@dataclass(frozen=True)
+class KernelArg:
+    """One kernel's use of one data structure."""
+
+    buffer: Buffer
+    mode: AccessMode
+    pattern: PatternKind = PatternKind.PARTITIONED
+    kind: Optional[AccessKind] = None
+    touches: float = 1.0
+    fraction: float = 1.0
+    #: Fractional start offset of the touched window within each slice
+    #: (row-sweep apps like Pathfinder move the window every kernel,
+    #: destroying inter-kernel reuse).
+    offset: float = 0.0
+    halo_lines: int = 0
+    seed: int = 0
+    #: RANDOM/INDIRECT: resample a different line set every kernel
+    #: (True, e.g. BTree query batches) or touch a stable input-dependent
+    #: set across kernels (False, e.g. a graph's adjacency lists reread
+    #: every iteration).
+    resample: bool = True
+    #: RANDOM/INDIRECT refinement: fraction of the sample drawn from a
+    #: kernel-independent (stable) set, the rest resampled per kernel.
+    #: Graph frontiers re-visit part of the structure each iteration but
+    #: also roam — this is what gives their remote accesses the low
+    #: locality that hurts HMG (Sec. V-B). ``None`` defers to ``resample``.
+    stable_fraction: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+        if not 0.0 <= self.offset < 1.0:
+            raise ValueError(f"offset must be in [0, 1), got {self.offset}")
+        if self.touches < 1.0:
+            raise ValueError(f"touches must be >= 1, got {self.touches}")
+        if self.halo_lines < 0:
+            raise ValueError(f"halo_lines must be >= 0, got {self.halo_lines}")
+        if self.mode is AccessMode.R and self.kind is AccessKind.STORE:
+            raise ValueError("a read-only argument cannot be a pure store")
+
+    @property
+    def effective_kind(self) -> AccessKind:
+        """Kind, defaulting from the access mode."""
+        if self.kind is not None:
+            return self.kind
+        return AccessKind.LOAD if self.mode is AccessMode.R else AccessKind.LOAD_STORE
+
+    def annotation(self, num_logical: int) -> ArgAccess:
+        """The packet-level annotation software would provide (Sec. III-B).
+
+        Partitioned args use the even-split default; stencils widen each
+        slice by the halo; shared/random/indirect args conservatively
+        declare the whole structure for every scheduled chiplet.
+        """
+        if self.pattern is PatternKind.PARTITIONED and self.fraction == 1.0:
+            return ArgAccess(self.buffer, self.mode, ranges=None)
+        ranges: List[RangeAnnotation] = []
+        for logical in range(num_logical):
+            if self.pattern in (PatternKind.PARTITIONED, PatternKind.STENCIL):
+                lo, hi = self.buffer.byte_range_of_slice(logical, num_logical)
+                halo = self.halo_lines * LINE_SIZE
+                lo = max(self.buffer.base, lo - halo)
+                hi = min(self.buffer.end, hi + halo)
+            else:
+                lo, hi = self.buffer.base, self.buffer.end
+            ranges.append(RangeAnnotation(lo, hi, logical))
+        return ArgAccess(self.buffer, self.mode, ranges=tuple(ranges))
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One kernel dispatch."""
+
+    name: str
+    args: Tuple[KernelArg, ...]
+    num_wgs: int = 960
+    #: CU-cycles of arithmetic per touched line: <10 memory-bound,
+    #: ~15 balanced, >40 compute-bound.
+    compute_intensity: float = 4.0
+    #: LDS accesses per touched line (LDS-staged kernels like LUD).
+    lds_per_line: float = 0.0
+    stream_id: int = 0
+    chiplet_mask: Optional[Tuple[int, ...]] = None
+    #: Register/LDS usage for the occupancy model
+    #: (:mod:`repro.cp.dispatcher`); ``None`` = full occupancy.
+    resources: Optional["KernelResources"] = None
+    #: Pre-built packet annotations overriding the ones derived from the
+    #: args' patterns — used by record-and-replay annotation inference
+    #: (:mod:`repro.analysis.inference`, the Sec. VI automation story).
+    explicit_annotations: Optional[Tuple[ArgAccess, ...]] = None
+
+    def packet(self, kernel_id: int, num_logical: int) -> KernelPacket:
+        """Build this dispatch's kernel packet with its annotations."""
+        if self.explicit_annotations is not None:
+            annotations = self.explicit_annotations
+        else:
+            annotations = tuple(arg.annotation(num_logical)
+                                for arg in self.args)
+        return KernelPacket(
+            kernel_id=kernel_id,
+            name=self.name,
+            stream_id=self.stream_id,
+            num_wgs=self.num_wgs,
+            args=annotations,
+            chiplet_mask=self.chiplet_mask,
+        )
+
+
+@dataclass
+class Workload:
+    """A complete application: buffers plus its dynamic kernel sequence."""
+
+    name: str
+    space: AddressSpace
+    kernels: List[Kernel]
+    #: Paper's grouping: "high" = moderate-to-high inter-kernel reuse,
+    #: "low" = low-to-no reuse (Table II).
+    reuse_class: str = "high"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.reuse_class not in ("high", "low"):
+            raise ValueError(f"reuse_class must be 'high' or 'low', "
+                             f"got {self.reuse_class!r}")
+        if not self.kernels:
+            raise ValueError(f"workload {self.name!r} has no kernels")
+
+    @property
+    def num_kernels(self) -> int:
+        """Dynamic kernel count."""
+        return len(self.kernels)
+
+    def buffers(self) -> List[Buffer]:
+        """All allocations."""
+        return self.space.buffers
+
+    def footprint_bytes(self) -> int:
+        """Total allocated bytes."""
+        return self.space.footprint_bytes()
+
+
+# ----------------------------------------------------------------------
+# Trace generation
+# ----------------------------------------------------------------------
+
+def lines_for_arg(arg: KernelArg, logical: int, num_logical: int,
+                  kernel_id: int) -> List[int]:
+    """Distinct global line indices logical chiplet ``logical`` touches.
+
+    Deterministic: random patterns are seeded from (arg seed, kernel id,
+    logical chiplet), so a run is reproducible and all protocols see the
+    identical trace.
+    """
+    buf = arg.buffer
+    if arg.pattern in (PatternKind.PARTITIONED, PatternKind.STENCIL):
+        lo, hi = buf.slice_lines(logical, num_logical)
+        span = hi - lo
+        if span == 0:
+            return []
+        count = max(1, int(round(span * arg.fraction)))
+        start = lo + int(span * arg.offset)
+        end = min(hi, start + count)
+        lines = list(range(start, end))
+        if arg.pattern is PatternKind.STENCIL and arg.halo_lines:
+            first, last = buf.line_range()
+            below = range(max(first, lo - arg.halo_lines), lo)
+            above = range(hi, min(last, hi + arg.halo_lines))
+            lines.extend(below)
+            lines.extend(above)
+        return lines
+    if arg.pattern is PatternKind.SHARED:
+        first, last = buf.line_range()
+        span = last - first
+        count = max(1, int(round(span * arg.fraction)))
+        start = first + int(span * arg.offset)
+        return list(range(start, min(last, start + count)))
+    # RANDOM / INDIRECT: seeded sample over the whole structure.
+    first, last = buf.line_range()
+    span = last - first
+    count = max(1, int(round(span * arg.fraction / num_logical)))
+    count = min(count, span)
+    if arg.stable_fraction is not None:
+        stable_share = arg.stable_fraction
+    else:
+        stable_share = 0.0 if arg.resample else 1.0
+    stable_count = int(round(count * stable_share))
+    lines: List[int] = []
+    if stable_count:
+        rng = random.Random(f"{arg.seed}:{logical}")
+        lines.extend(first + idx for idx in rng.sample(range(span), stable_count))
+    roam_count = count - stable_count
+    if roam_count:
+        rng = random.Random(f"{arg.seed}:{kernel_id}:{logical}")
+        lines.extend(first + idx for idx in rng.sample(range(span), roam_count))
+    return lines
+
+
+def kernel_touched_lines(kernel: Kernel, num_logical: int,
+                         kernel_id: int) -> int:
+    """Total distinct lines the kernel touches (drives the compute term)."""
+    total = 0
+    for arg in kernel.args:
+        for logical in range(num_logical):
+            total += len(lines_for_arg(arg, logical, num_logical, kernel_id))
+    return total

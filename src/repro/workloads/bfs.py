@@ -1,0 +1,59 @@
+"""BFS [25] — Rodinia breadth-first search (graph128k input).
+
+Frontier-based level-synchronous BFS: two kernels per level over a CSR
+graph. Many read-only accesses with input-dependent (irregular) reach;
+avoiding unnecessary acquires improves inter-kernel reuse for the graph
+structure, but BFS has less potential inter-kernel reuse than Color/SSSP
+because each level's frontier touches different neighbourhoods — CPElide
+gains ~6% (Sec. V-A). HMG's write-through L2s generate much more L2-L3
+traffic here, increasing NOC energy (Sec. V-B Energy).
+"""
+
+from __future__ import annotations
+
+from repro.cp.packets import AccessMode
+from repro.gpu.config import GPUConfig
+from repro.workloads.base import AccessKind, KernelArg, PatternKind, Workload
+from repro.workloads.common import WorkloadBuilder
+
+#: graph128k: 128K nodes, ~1M edges in CSR.
+NODES_BYTES = 128 * 1024 * 8      # (start, degree) per node
+EDGES_BYTES = 1024 * 1024 * 8     # edge list
+COST_BYTES = 128 * 1024 * 4
+MASK_BYTES = 128 * 1024
+LEVELS = 12
+
+
+def build(config: GPUConfig) -> Workload:
+    """Build the BFS model."""
+    b = WorkloadBuilder("bfs", config, reuse_class="high",
+                        description="level-synchronous BFS, 12 levels")
+    nodes = b.buffer("graph_nodes", NODES_BYTES)
+    edges = b.buffer("graph_edges", EDGES_BYTES)
+    cost = b.buffer("cost", COST_BYTES)
+    mask = b.buffer("frontier_mask", MASK_BYTES)
+    updating = b.buffer("updating_mask", MASK_BYTES)
+    visited = b.buffer("visited", MASK_BYTES)
+
+    def one_level(i: int) -> None:
+        # Frontier size ramps up then down across levels.
+        frontier = max(0.05, min(0.6, 0.1 * (1 + min(i, LEVELS - 1 - i))))
+        b.kernel("bfs_kernel1", [
+            KernelArg(mask, AccessMode.R),
+            KernelArg(nodes, AccessMode.R, fraction=frontier),
+            KernelArg(edges, AccessMode.R, fraction=max(0.02, frontier * 0.4)),
+            KernelArg(edges, AccessMode.R, pattern=PatternKind.INDIRECT,
+                      fraction=max(0.04, frontier * 0.3), seed=13,
+                      stable_fraction=0.4),
+            KernelArg(cost, AccessMode.RW, pattern=PatternKind.RANDOM,
+                      fraction=frontier * 0.4, seed=17),
+            KernelArg(updating, AccessMode.RW, kind=AccessKind.STORE),
+        ], compute_intensity=3.0)
+        b.kernel("bfs_kernel2", [
+            KernelArg(updating, AccessMode.RW),
+            KernelArg(mask, AccessMode.RW, kind=AccessKind.STORE),
+            KernelArg(visited, AccessMode.RW),
+        ], compute_intensity=2.0)
+
+    b.repeat(LEVELS, one_level)
+    return b.build()

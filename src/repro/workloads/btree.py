@@ -1,0 +1,50 @@
+"""BTree [25] — Rodinia B+tree bulk queries (mil.txt: one million keys).
+
+Each query batch traverses pointer-linked tree nodes, touching a fresh
+input-dependent subset of a large read-mostly structure — virtually no
+inter-kernel reuse (Table II groups it low). CPElide therefore matches
+Baseline, while HMG's directory — four lines per entry — suffers many
+evictions whose remote invalidations cost it ~15% versus Baseline
+(Sec. V-B, Low-to-No Inter-Kernel Reuse).
+"""
+
+from __future__ import annotations
+
+from repro.cp.packets import AccessMode
+from repro.gpu.config import GPUConfig
+from repro.workloads.base import AccessKind, KernelArg, PatternKind, Workload
+from repro.workloads.common import MB, WorkloadBuilder
+
+TREE_BYTES = 16 * MB
+KEYS_BYTES = 4 * MB
+RESULTS_BYTES = 4 * MB
+BATCHES = 6
+
+
+def build(config: GPUConfig) -> Workload:
+    """Build the BTree model."""
+    b = WorkloadBuilder("btree", config, reuse_class="low",
+                        description="B+tree range queries, 6 batches")
+    tree = b.buffer("knodes", TREE_BYTES)
+    keys = b.buffer("keys", KEYS_BYTES)
+    results = b.buffer("ans", RESULTS_BYTES)
+
+    def one_batch(i: int) -> None:
+        b.kernel("findK", [
+            KernelArg(keys, AccessMode.R, fraction=0.25,
+                      offset=min(0.75, 0.25 * (i % 4))),
+            # Fresh random traversal paths each batch: resample=True.
+            KernelArg(tree, AccessMode.R, pattern=PatternKind.RANDOM,
+                      fraction=0.15, seed=61),
+            KernelArg(results, AccessMode.RW, kind=AccessKind.STORE,
+                      fraction=0.25, offset=min(0.75, 0.25 * (i % 4))),
+        ], compute_intensity=4.0)
+        b.kernel("findRangeK", [
+            KernelArg(tree, AccessMode.R, pattern=PatternKind.RANDOM,
+                      fraction=0.1, seed=67),
+            KernelArg(results, AccessMode.RW, fraction=0.25,
+                      offset=min(0.75, 0.25 * (i % 4))),
+        ], compute_intensity=4.0)
+
+    b.repeat(BATCHES, one_batch)
+    return b.build()

@@ -1,0 +1,67 @@
+"""CNN [35] — DNNMark Conv+Pool+FC inference (128x128x3, BS 4).
+
+Feed-forward layers stream activations: each layer's output is consumed
+exactly once by the next layer, and the per-layer weights are small. Low
+inter-kernel reuse (Table II), and the convolutions are compute-bound —
+CPElide and HMG perform similarly to each other and to Baseline for the
+compute-bound CNNs (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from repro.cp.packets import AccessMode
+from repro.gpu.config import GPUConfig
+from repro.workloads.base import AccessKind, KernelArg, PatternKind, Workload
+from repro.workloads.common import KB, MB, WorkloadBuilder
+
+INPUT_BYTES = 4 * 128 * 128 * 3 * 4      # BS 4, fp32
+CONV1_OUT_BYTES = 4 * 128 * 128 * 16 * 4
+POOL1_OUT_BYTES = CONV1_OUT_BYTES // 4
+CONV2_OUT_BYTES = POOL1_OUT_BYTES * 2
+POOL2_OUT_BYTES = CONV2_OUT_BYTES // 4
+FC_OUT_BYTES = 64 * KB
+CONV1_W = 256 * KB
+CONV2_W = 512 * KB
+FC_W = 4 * MB
+
+
+def build(config: GPUConfig) -> Workload:
+    """Build the CNN model."""
+    b = WorkloadBuilder("cnn", config, reuse_class="low",
+                        description="Conv-Pool-Conv-Pool-FC inference, BS 4")
+    x = b.buffer("input", INPUT_BYTES)
+    c1 = b.buffer("conv1_out", CONV1_OUT_BYTES)
+    p1 = b.buffer("pool1_out", POOL1_OUT_BYTES)
+    c2 = b.buffer("conv2_out", CONV2_OUT_BYTES)
+    p2 = b.buffer("pool2_out", POOL2_OUT_BYTES)
+    fc = b.buffer("fc_out", FC_OUT_BYTES)
+    w1 = b.buffer("conv1_w", CONV1_W)
+    w2 = b.buffer("conv2_w", CONV2_W)
+    wf = b.buffer("fc_w", FC_W)
+
+    for image in range(3):
+        b.kernel("conv1", [
+            KernelArg(x, AccessMode.R, touches=4.0),
+            KernelArg(w1, AccessMode.R, pattern=PatternKind.SHARED, touches=3.0),
+            KernelArg(c1, AccessMode.RW, kind=AccessKind.STORE),
+        ], compute_intensity=70.0, lds_per_line=6.0)
+        b.kernel("pool1", [
+            KernelArg(c1, AccessMode.R),
+            KernelArg(p1, AccessMode.RW, kind=AccessKind.STORE),
+        ], compute_intensity=4.0)
+        b.kernel("conv2", [
+            KernelArg(p1, AccessMode.R, touches=4.0),
+            KernelArg(w2, AccessMode.R, pattern=PatternKind.SHARED, touches=3.0),
+            KernelArg(c2, AccessMode.RW, kind=AccessKind.STORE),
+        ], compute_intensity=80.0, lds_per_line=6.0)
+        b.kernel("pool2", [
+            KernelArg(c2, AccessMode.R),
+            KernelArg(p2, AccessMode.RW, kind=AccessKind.STORE),
+        ], compute_intensity=4.0)
+        b.kernel("fc", [
+            KernelArg(p2, AccessMode.R, pattern=PatternKind.SHARED),
+            KernelArg(wf, AccessMode.R, pattern=PatternKind.SHARED),
+            KernelArg(fc, AccessMode.RW, kind=AccessKind.STORE),
+        ], compute_intensity=20.0)
+
+    return b.build()

@@ -1,0 +1,69 @@
+"""Shared machinery for building workload models.
+
+Every workload module exposes ``build(config) -> Workload``. The builder
+scales buffer footprints by ``config.scale`` — the same knob that scales
+the cache capacities — so working-set-to-cache ratios match the paper's
+at any simulation scale.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.gpu.config import GPUConfig
+from repro.memory.address import PAGE_SIZE, AddressSpace, Buffer
+from repro.workloads.base import Kernel, KernelArg, Workload
+
+KB = 1024
+MB = 1024 * KB
+
+
+class WorkloadBuilder:
+    """Accumulates buffers and kernels into a :class:`Workload`."""
+
+    def __init__(self, name: str, config: GPUConfig, reuse_class: str,
+                 description: str = "") -> None:
+        self.name = name
+        self.config = config
+        self.reuse_class = reuse_class
+        self.description = description
+        self.space = AddressSpace()
+        self._kernels: List[Kernel] = []
+
+    def buffer(self, name: str, paper_bytes: int) -> Buffer:
+        """Allocate a buffer sized ``paper_bytes`` at paper scale.
+
+        The size is multiplied by ``config.scale`` (never below one page)
+        so the structure keeps its relationship to the scaled caches, and
+        by ``config.footprint_factor`` for capacity-sensitivity sweeps.
+        """
+        scaled = max(PAGE_SIZE, int(paper_bytes * self.config.scale
+                                    * self.config.footprint_factor))
+        return self.space.alloc(name, scaled)
+
+    def kernel(self, name: str, args: List[KernelArg],
+               compute_intensity: float = 4.0, lds_per_line: float = 0.0,
+               num_wgs: Optional[int] = None, stream: int = 0,
+               chiplet_mask: Optional[Tuple[int, ...]] = None) -> None:
+        """Append one kernel dispatch."""
+        self._kernels.append(Kernel(
+            name=name,
+            args=tuple(args),
+            num_wgs=num_wgs if num_wgs is not None else 16 * self.config.total_cus,
+            compute_intensity=compute_intensity,
+            lds_per_line=lds_per_line,
+            stream_id=stream,
+            chiplet_mask=chiplet_mask,
+        ))
+
+    def repeat(self, times: int, make_kernels) -> None:
+        """Call ``make_kernels(iteration)`` for each of ``times`` iterations."""
+        for iteration in range(times):
+            make_kernels(iteration)
+
+    def build(self) -> Workload:
+        """Freeze into a :class:`Workload`."""
+        return Workload(name=self.name, space=self.space,
+                        kernels=self._kernels,
+                        reuse_class=self.reuse_class,
+                        description=self.description)

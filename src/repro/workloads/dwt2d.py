@@ -1,0 +1,42 @@
+"""DWT2D [25] — Rodinia 2D discrete wavelet transform (rgb.bmp 4096x4096).
+
+Each transform level reads a region of the image and writes coefficient
+sub-bands, then the next level operates on a quarter of the data — each
+kernel touches data the previous one mostly did not, and the full image
+exceeds the aggregate L2, so inter-kernel reuse is low (Table II). CPElide
+matches Baseline; HMG fares better at 2 chiplets where fewer remote nodes
+mean less invalidation traffic (Sec. V-C).
+"""
+
+from __future__ import annotations
+
+from repro.cp.packets import AccessMode
+from repro.gpu.config import GPUConfig
+from repro.workloads.base import AccessKind, KernelArg, Workload
+from repro.workloads.common import WorkloadBuilder
+
+IMAGE_BYTES = 4096 * 4096 * 3
+COEFF_BYTES = 4096 * 4096 * 3
+LEVELS = 4
+
+
+def build(config: GPUConfig) -> Workload:
+    """Build the DWT2D model."""
+    b = WorkloadBuilder("dwt2d", config, reuse_class="low",
+                        description="4-level 2D wavelet over a 48 MB image")
+    image = b.buffer("src", IMAGE_BYTES)
+    coeffs = b.buffer("coeffs", COEFF_BYTES)
+
+    for level in range(LEVELS):
+        frac = max(0.02, 0.25 ** level)
+        b.kernel(f"fdwt_h_l{level}", [
+            KernelArg(image if level == 0 else coeffs, AccessMode.R,
+                      fraction=frac),
+            KernelArg(coeffs, AccessMode.RW, kind=AccessKind.STORE,
+                      fraction=frac),
+        ], compute_intensity=6.0, lds_per_line=3.0)
+        b.kernel(f"fdwt_v_l{level}", [
+            KernelArg(coeffs, AccessMode.RW, fraction=frac, touches=2.0),
+        ], compute_intensity=6.0, lds_per_line=3.0)
+
+    return b.build()

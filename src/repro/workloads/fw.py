@@ -1,0 +1,44 @@
+"""FW [26] — Pannotia Floyd-Warshall all-pairs shortest paths.
+
+Input (Table II): 512_65536.gr (512 nodes, 64K edges — a 1 MB dense
+distance matrix). Blocked FW relaunches kernels per pivot block; the
+matrix accesses are input-dependent enough that first-touch placement is
+subpar, causing many remote accesses. There is abundant memory-level
+parallelism to hide the L2 misses from implicit synchronization, so
+CPElide's reuse gains translate into only a small speedup (Sec. V-A),
+while HMG suffers from caching the low-locality remote accesses
+(Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from repro.cp.packets import AccessMode
+from repro.gpu.config import GPUConfig
+from repro.workloads.base import KernelArg, PatternKind, Workload
+from repro.workloads.common import MB, WorkloadBuilder
+
+DIST_BYTES = 1 * MB
+PIVOT_ROUNDS = 32
+
+
+def build(config: GPUConfig) -> Workload:
+    """Build the FW model."""
+    b = WorkloadBuilder("fw", config, reuse_class="high",
+                        description="blocked Floyd-Warshall, 32 pivot rounds")
+    dist = b.buffer("dist", DIST_BYTES)
+    pivot_row = b.buffer("pivot_row", DIST_BYTES // 16)
+
+    def one_round(i: int) -> None:
+        b.kernel("fw_pivot", [
+            KernelArg(dist, AccessMode.R, pattern=PatternKind.RANDOM,
+                      fraction=0.1, seed=21 + i % 4),
+            KernelArg(pivot_row, AccessMode.RW),
+        ], compute_intensity=20.0)
+        b.kernel("fw_update", [
+            KernelArg(pivot_row, AccessMode.R, touches=3.0),
+            KernelArg(dist, AccessMode.RW, pattern=PatternKind.RANDOM,
+                      fraction=0.5, seed=23, stable_fraction=0.6, touches=2.0),
+        ], compute_intensity=24.0)
+
+    b.repeat(PIVOT_ROUNDS, one_round)
+    return b.build()

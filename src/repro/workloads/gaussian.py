@@ -1,0 +1,44 @@
+"""Gaussian [25] — Rodinia Gaussian elimination (256x256 input).
+
+Two kernels per elimination step over a small matrix. The footprint is
+tiny and there is sufficient memory-level parallelism to hide the L2
+misses caused by implicit kernel-boundary synchronization, so although
+CPElide improves L2 inter-kernel reuse the end-to-end speedup is small
+(Sec. V-A).
+"""
+
+from __future__ import annotations
+
+from repro.cp.packets import AccessMode
+from repro.gpu.config import GPUConfig
+from repro.workloads.base import KernelArg, Workload
+from repro.workloads.common import WorkloadBuilder
+
+MATRIX_BYTES = 256 * 256 * 4
+MULT_BYTES = 256 * 256 * 4
+VEC_BYTES = 256 * 4 * 64  # padded
+STEPS = 40
+
+
+def build(config: GPUConfig) -> Workload:
+    """Build the Gaussian model."""
+    b = WorkloadBuilder("gaussian", config, reuse_class="high",
+                        description="elimination steps over a 256x256 matrix")
+    matrix = b.buffer("a", MATRIX_BYTES)
+    mult = b.buffer("m", MULT_BYTES)
+    vec = b.buffer("b", VEC_BYTES)
+
+    def one_step(i: int) -> None:
+        remaining = max(0.05, 1.0 - i / STEPS)
+        b.kernel("fan1", [
+            KernelArg(matrix, AccessMode.R, fraction=remaining),
+            KernelArg(mult, AccessMode.RW, fraction=remaining),
+        ], compute_intensity=250.0)
+        b.kernel("fan2", [
+            KernelArg(mult, AccessMode.R, fraction=remaining),
+            KernelArg(matrix, AccessMode.RW, fraction=remaining, touches=2.0),
+            KernelArg(vec, AccessMode.RW),
+        ], compute_intensity=280.0)
+
+    b.repeat(STEPS, one_step)
+    return b.build()

@@ -1,0 +1,48 @@
+"""HACC [78] — CORAL-2 cosmology (Hardware Accelerated Cosmology Code).
+
+N-body short-range force steps over large particle arrays. The footprint
+exceeds the aggregate L2, and there is sufficient memory-level parallelism
+to hide the L2 misses from implicit synchronization, so CPElide's extra L2
+hits do not significantly improve end-to-end time (Sec. V-A); the paper
+also groups HACC with the limited-inter-kernel-reuse comparisons against
+HMG (Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from repro.cp.packets import AccessMode
+from repro.gpu.config import GPUConfig
+from repro.workloads.base import KernelArg, PatternKind, Workload
+from repro.workloads.common import MB, WorkloadBuilder
+
+POS_BYTES = 12 * MB      # particle positions (x, y, z interleaved)
+VEL_BYTES = 12 * MB      # particle velocities
+FORCE_BYTES = 12 * MB
+NEIGHBOR_BYTES = 8 * MB  # interaction/neighbour lists
+TIMESTEPS = 8
+
+
+def build(config: GPUConfig) -> Workload:
+    """Build the HACC model."""
+    b = WorkloadBuilder("hacc", config, reuse_class="high",
+                        description="n-body force + update steps, 44 MB footprint")
+    pos = b.buffer("positions", POS_BYTES)
+    vel = b.buffer("velocities", VEL_BYTES)
+    force = b.buffer("forces", FORCE_BYTES)
+    neighbors = b.buffer("neighbors", NEIGHBOR_BYTES)
+
+    def one_step(_i: int) -> None:
+        b.kernel("short_range_force", [
+            KernelArg(pos, AccessMode.R, touches=4.0),
+            KernelArg(neighbors, AccessMode.R, pattern=PatternKind.INDIRECT,
+                      fraction=0.5, seed=31),
+            KernelArg(force, AccessMode.RW),
+        ], compute_intensity=60.0)
+        b.kernel("update_particles", [
+            KernelArg(force, AccessMode.R),
+            KernelArg(vel, AccessMode.RW),
+            KernelArg(pos, AccessMode.RW),
+        ], compute_intensity=6.0)
+
+    b.repeat(TIMESTEPS, one_step)
+    return b.build()

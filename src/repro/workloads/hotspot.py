@@ -1,0 +1,40 @@
+"""Hotspot [25] — Rodinia 2D thermal simulation.
+
+Input (Table II): 512x512 grid, 20 time steps. A 2D stencil that stages
+tiles through the LDS and is *compute-bound* with sufficient on-chip
+bandwidth to keep the CUs busy (Sec. V-A): loading the LDS faster via more
+L2 hits does little, so CPElide's speedup is small even though the arrays
+are reused every step.
+"""
+
+from __future__ import annotations
+
+from repro.cp.packets import AccessMode
+from repro.gpu.config import GPUConfig
+from repro.workloads.base import AccessKind, KernelArg, PatternKind, Workload
+from repro.workloads.common import WorkloadBuilder
+
+#: 512 x 512 x 4 B grids.
+GRID_BYTES = 512 * 512 * 4
+STEPS = 20
+
+
+def build(config: GPUConfig) -> Workload:
+    """Build the Hotspot model."""
+    b = WorkloadBuilder("hotspot", config, reuse_class="high",
+                        description="compute-bound 2D stencil, 20 steps")
+    temp = b.buffer("temp", GRID_BYTES)
+    power = b.buffer("power", GRID_BYTES)
+    temp_out = b.buffer("temp_out", GRID_BYTES)
+
+    def one_step(i: int) -> None:
+        src, dst = (temp, temp_out) if i % 2 == 0 else (temp_out, temp)
+        b.kernel("calculate_temp", [
+            KernelArg(src, AccessMode.R, pattern=PatternKind.STENCIL,
+                      halo_lines=4, touches=3.0),
+            KernelArg(power, AccessMode.R, touches=2.0),
+            KernelArg(dst, AccessMode.RW, kind=AccessKind.STORE),
+        ], compute_intensity=60.0, lds_per_line=4.0)
+
+    b.repeat(STEPS, one_step)
+    return b.build()

@@ -1,0 +1,43 @@
+"""NW [25] — Rodinia Needleman-Wunsch sequence alignment (8192, penalty 10).
+
+Wavefront processing over a large similarity matrix: each kernel pair
+processes one anti-diagonal band and never revisits earlier bands, so
+inter-kernel reuse is low (Table II) and CPElide tracks Baseline.
+"""
+
+from __future__ import annotations
+
+from repro.cp.packets import AccessMode
+from repro.gpu.config import GPUConfig
+from repro.workloads.base import KernelArg, Workload
+from repro.workloads.common import WorkloadBuilder
+
+#: 8192 x 8192 x 4 B similarity matrix (truncated band sweep below).
+MATRIX_BYTES = 8192 * 8192 * 4
+REFERENCE_BYTES = 8192 * 8192 * 4
+BANDS = 10
+
+
+def build(config: GPUConfig) -> Workload:
+    """Build the NW model."""
+    b = WorkloadBuilder("nw", config, reuse_class="low",
+                        description="anti-diagonal band sweep, 10 bands")
+    matrix = b.buffer("input_itemsets", MATRIX_BYTES)
+    reference = b.buffer("reference", REFERENCE_BYTES)
+
+    for band in range(BANDS):
+        offset = band / BANDS
+        b.kernel(f"needle_1_b{band}", [
+            KernelArg(reference, AccessMode.R, fraction=1.0 / BANDS,
+                      offset=offset),
+            KernelArg(matrix, AccessMode.RW, fraction=1.0 / BANDS,
+                      offset=offset, touches=2.0),
+        ], compute_intensity=8.0, lds_per_line=4.0)
+        b.kernel(f"needle_2_b{band}", [
+            KernelArg(reference, AccessMode.R, fraction=1.0 / BANDS,
+                      offset=offset),
+            KernelArg(matrix, AccessMode.RW, fraction=1.0 / BANDS,
+                      offset=offset, touches=2.0),
+        ], compute_intensity=8.0, lds_per_line=4.0)
+
+    return b.build()

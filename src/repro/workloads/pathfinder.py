@@ -1,0 +1,39 @@
+"""Pathfinder [25] — Rodinia dynamic programming (200000 cols, 100 rows).
+
+Row-by-row sweep over a wide grid: each kernel reads one row and writes
+the next, never revisiting earlier rows — essentially zero inter-kernel
+reuse (Table II), so eliding acquires/releases cannot help and CPElide
+matches Baseline (Sec. V-A).
+"""
+
+from __future__ import annotations
+
+from repro.cp.packets import AccessMode
+from repro.gpu.config import GPUConfig
+from repro.workloads.base import KernelArg, Workload
+from repro.workloads.common import WorkloadBuilder
+
+#: 200000 cols x 100 rows x 4 B.
+WALL_BYTES = 200000 * 100 * 4
+#: One carried result row.
+RESULT_BYTES = 200000 * 4
+STEPS = 20
+ROWS_PER_STEP = 5  # pyramid height 20 covers 100 rows in 20 steps
+
+
+def build(config: GPUConfig) -> Workload:
+    """Build the Pathfinder model."""
+    b = WorkloadBuilder("pathfinder", config, reuse_class="low",
+                        description="row sweep over an 80 MB grid, 20 steps")
+    wall = b.buffer("wall", WALL_BYTES)
+    result = b.buffer("result", RESULT_BYTES)
+
+    for step in range(STEPS):
+        offset = step / STEPS
+        b.kernel(f"dynproc_s{step}", [
+            KernelArg(wall, AccessMode.R, fraction=ROWS_PER_STEP / 100,
+                      offset=offset, touches=2.0),
+            KernelArg(result, AccessMode.RW),
+        ], compute_intensity=5.0, lds_per_line=3.0)
+
+    return b.build()

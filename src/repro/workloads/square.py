@@ -1,0 +1,39 @@
+"""Square [12, 21] — the HIP-Examples elementwise kernel of Listing 1.
+
+Input (Table II): 524288 elements, launched repeatedly. Like BabelStream
+it has iterative GPU kernels with uniform access patterns whose WG chunks
+map to independent chiplets with limited remote accesses, and the working
+set fits the aggregate L2: CPElide elides all flushes/invalidations except
+the final ones, while HMG writes every store through to memory (−40% vs
+CPElide, Sec. V-B).
+"""
+
+from __future__ import annotations
+
+from repro.cp.packets import AccessMode
+from repro.gpu.config import GPUConfig
+from repro.workloads.base import AccessKind, KernelArg, Workload
+from repro.workloads.common import WorkloadBuilder
+
+#: 524288 floats per array.
+ARRAY_BYTES = 524288 * 4
+LAUNCHES = 40
+
+
+def build(config: GPUConfig) -> Workload:
+    """Build the Square model."""
+    b = WorkloadBuilder("square", config, reuse_class="high",
+                        description="C[i] = A[i]^2, relaunched")
+    a = b.buffer("A", ARRAY_BYTES)
+    c = b.buffer("C", ARRAY_BYTES)
+
+    def one_launch(_i: int) -> None:
+        # Listing 1: hipSetAccessMode(square, A_d, 'R');
+        #            hipSetAccessMode(square, C_d, 'R/W').
+        b.kernel("square", [
+            KernelArg(a, AccessMode.R),
+            KernelArg(c, AccessMode.RW, kind=AccessKind.STORE),
+        ], compute_intensity=1.0)
+
+    b.repeat(LAUNCHES, one_launch)
+    return b.build()

@@ -1,0 +1,58 @@
+"""SSSP [26] — Pannotia single-source shortest paths (AK.gr input).
+
+Bellman-Ford-style relaxation rounds over a CSR graph. Like Color, the
+owned nodes' edge lists (``col_idx``/``weights``) are contiguous and
+reread every round (the read-only inter-kernel reuse CPElide preserves,
+~14% over Baseline, Sec. V-A), while the neighbour distance lookups roam
+the array with low locality — caching them remotely costs HMG invalidation
+traffic and local-L2 pollution. At 2 chiplets the aggregate L2 cannot hold
+the footprint and CPElide's gain disappears (Sec. V-C).
+"""
+
+from __future__ import annotations
+
+from repro.cp.packets import AccessMode
+from repro.gpu.config import GPUConfig
+from repro.workloads.base import AccessKind, KernelArg, PatternKind, Workload
+from repro.workloads.common import MB, WorkloadBuilder
+
+ROW_PTR_BYTES = 2 * MB
+COL_IDX_BYTES = 16 * MB
+WEIGHTS_BYTES = 16 * MB
+DIST_BYTES = 2 * MB
+ROUNDS = 12
+
+
+def build(config: GPUConfig) -> Workload:
+    """Build the SSSP model."""
+    b = WorkloadBuilder("sssp", config, reuse_class="high",
+                        description="Bellman-Ford relaxations over AK.gr")
+    row_ptr = b.buffer("row_ptr", ROW_PTR_BYTES)
+    col_idx = b.buffer("col_idx", COL_IDX_BYTES)
+    weights = b.buffer("edge_weights", WEIGHTS_BYTES)
+    dist = b.buffer("dist", DIST_BYTES)
+    dist_next = b.buffer("dist_next", DIST_BYTES)
+
+    def one_round(i: int) -> None:
+        src, dst = (dist, dist_next) if i % 2 == 0 else (dist_next, dist)
+        b.kernel("sssp_relax", [
+            KernelArg(row_ptr, AccessMode.R),
+            # Relaxation-ordered edge reads roam the CSR arrays.
+            KernelArg(col_idx, AccessMode.R, fraction=0.2),
+            KernelArg(col_idx, AccessMode.R, pattern=PatternKind.INDIRECT,
+                      fraction=0.15, seed=7, stable_fraction=0.5),
+            KernelArg(weights, AccessMode.R, fraction=0.2),
+            KernelArg(weights, AccessMode.R, pattern=PatternKind.INDIRECT,
+                      fraction=0.15, seed=7, stable_fraction=0.5),
+            # Neighbour distances roam the whole array.
+            KernelArg(src, AccessMode.R, pattern=PatternKind.RANDOM,
+                      fraction=0.35, seed=9, stable_fraction=0.5),
+            KernelArg(dst, AccessMode.RW, kind=AccessKind.STORE),
+        ], compute_intensity=3.0)
+        b.kernel("sssp_settle", [
+            KernelArg(dst, AccessMode.R),
+            KernelArg(src, AccessMode.RW),
+        ], compute_intensity=2.0)
+
+    b.repeat(ROUNDS, one_round)
+    return b.build()

@@ -1,0 +1,57 @@
+"""streams [21] — gem5-resources' multi-stream benchmark (Sec. VI).
+
+The only GPU benchmark in gem5-resources that uses multiple streams: two
+HIP streams run independent triad-style kernel chains concurrently. The
+paper evaluates it (plus multi-stream extensions of Table II apps) to
+show CPElide also helps multi-stream workloads, whose concurrent kernels
+contend for shared caching resources and suffer higher synchronization
+costs (Sec. VI, Multi-Stream Workloads).
+
+Each stream is bound to half the chiplets via the ``hipSetDevice``-style
+stream binding (Sec. III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.cp.packets import AccessMode
+from repro.gpu.config import GPUConfig
+from repro.workloads.base import AccessKind, KernelArg, Workload
+from repro.workloads.common import WorkloadBuilder
+
+ARRAY_BYTES = 262144 * 4
+ITERATIONS = 10
+NUM_STREAMS = 2
+
+
+def build(config: GPUConfig) -> Workload:
+    """Build the two-stream triad model."""
+    if config.num_chiplets < NUM_STREAMS:
+        raise ValueError(
+            f"streams needs >= {NUM_STREAMS} chiplets, "
+            f"got {config.num_chiplets}")
+    b = WorkloadBuilder("streams", config, reuse_class="high",
+                        description="two concurrent triad streams")
+    per_stream = config.num_chiplets // NUM_STREAMS
+    for stream in range(NUM_STREAMS):
+        mask: Tuple[int, ...] = tuple(
+            range(stream * per_stream, (stream + 1) * per_stream))
+        a = b.buffer(f"s{stream}_a", ARRAY_BYTES)
+        bb = b.buffer(f"s{stream}_b", ARRAY_BYTES)
+        c = b.buffer(f"s{stream}_c", ARRAY_BYTES)
+
+        def one_iteration(_i: int, a=a, bb=bb, c=c, stream=stream,
+                          mask=mask) -> None:
+            b.kernel("triad", [
+                KernelArg(bb, AccessMode.R),
+                KernelArg(c, AccessMode.R),
+                KernelArg(a, AccessMode.RW, kind=AccessKind.STORE),
+            ], compute_intensity=2.0, stream=stream, chiplet_mask=mask)
+            b.kernel("scale", [
+                KernelArg(a, AccessMode.R),
+                KernelArg(bb, AccessMode.RW, kind=AccessKind.STORE),
+            ], compute_intensity=1.0, stream=stream, chiplet_mask=mask)
+
+        b.repeat(ITERATIONS, one_iteration)
+    return b.build()

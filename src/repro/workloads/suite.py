@@ -1,0 +1,102 @@
+"""Workload registry: the 24 evaluated applications (Table II).
+
+The paper evaluates 24 workloads: 18 with moderate-to-high inter-kernel
+reuse (counting each RNN's two input configurations separately) and 6 with
+low-to-no reuse. ``build_workload(name, config)`` constructs any of them
+scaled to ``config.scale``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.gpu.config import GPUConfig
+from repro.workloads import (
+    babelstream,
+    backprop,
+    bfs,
+    btree,
+    cnn,
+    color,
+    dwt2d,
+    fw,
+    gaussian,
+    hacc,
+    hotspot,
+    hotspot3d,
+    lud,
+    lulesh,
+    nw,
+    pathfinder,
+    pennant,
+    rnn,
+    square,
+    srad,
+    sssp,
+    streams_bench,
+)
+from repro.workloads.base import Workload
+
+_BUILDERS: Dict[str, Callable[[GPUConfig], Workload]] = {
+    "babelstream": babelstream.build,
+    "backprop": backprop.build,
+    "bfs": bfs.build,
+    "color": color.build,
+    "fw": fw.build,
+    "gaussian": gaussian.build,
+    "hacc": hacc.build,
+    "hotspot": hotspot.build,
+    "hotspot3d": hotspot3d.build,
+    "lud": lud.build,
+    "lulesh": lulesh.build,
+    "pennant": pennant.build,
+    "rnn-gru-small": lambda cfg: rnn.build_rnn("rnn-gru-small", cfg),
+    "rnn-gru-large": lambda cfg: rnn.build_rnn("rnn-gru-large", cfg),
+    "rnn-lstm-small": lambda cfg: rnn.build_rnn("rnn-lstm-small", cfg),
+    "rnn-lstm-large": lambda cfg: rnn.build_rnn("rnn-lstm-large", cfg),
+    "square": square.build,
+    "sssp": sssp.build,
+    "btree": btree.build,
+    "cnn": cnn.build,
+    "dwt2d": dwt2d.build,
+    "nw": nw.build,
+    "pathfinder": pathfinder.build,
+    "srad": srad.build,
+    "streams": streams_bench.build,
+}
+
+#: Table II's moderate-to-high inter-kernel reuse group.
+HIGH_REUSE: List[str] = [
+    "babelstream", "backprop", "bfs", "color", "fw", "gaussian", "hacc",
+    "hotspot3d", "hotspot", "lud", "lulesh", "pennant",
+    "rnn-gru-small", "rnn-gru-large", "rnn-lstm-small", "rnn-lstm-large",
+    "square", "sssp",
+]
+
+#: Table II's low inter-kernel reuse group.
+LOW_REUSE: List[str] = ["btree", "cnn", "dwt2d", "nw", "pathfinder", "srad"]
+
+#: All 24 evaluated workloads.
+WORKLOAD_NAMES: List[str] = HIGH_REUSE + LOW_REUSE
+
+#: Additional buildable workloads outside Table II's 24 (Sec. VI's
+#: multi-stream ``streams`` benchmark from gem5-resources).
+EXTRA_WORKLOADS: List[str] = ["streams"]
+
+
+def build_workload(name: str, config: GPUConfig) -> Workload:
+    """Build one registered workload scaled to ``config.scale``."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from "
+            f"{WORKLOAD_NAMES + EXTRA_WORKLOADS}"
+        ) from None
+    workload = builder(config)
+    if name in WORKLOAD_NAMES:
+        expected = "high" if name in HIGH_REUSE else "low"
+        assert workload.reuse_class == expected, (
+            f"{name}: registry grouping ({expected}) disagrees with the "
+            f"workload's own reuse_class ({workload.reuse_class})")
+    return workload

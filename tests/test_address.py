@@ -1,0 +1,164 @@
+"""Unit tests for the address space, buffers, and first-touch placement."""
+
+import pytest
+
+from repro.memory.address import (
+    LINE_SIZE,
+    PAGE_SIZE,
+    AddressSpace,
+    Buffer,
+    HomeMap,
+    line_index,
+    line_of,
+    lines_in_range,
+    page_of,
+)
+
+
+class TestLineMath:
+    def test_line_of_aligns_down(self):
+        assert line_of(0) == 0
+        assert line_of(63) == 0
+        assert line_of(64) == 64
+        assert line_of(130) == 128
+
+    def test_line_index(self):
+        assert line_index(0) == 0
+        assert line_index(LINE_SIZE) == 1
+        assert line_index(LINE_SIZE * 10 + 5) == 10
+
+    def test_page_of(self):
+        assert page_of(0) == 0
+        assert page_of(PAGE_SIZE - 1) == 0
+        assert page_of(PAGE_SIZE) == 1
+
+    def test_lines_in_range_covers_partial_lines(self):
+        assert list(lines_in_range(0, 1)) == [0]
+        assert list(lines_in_range(10, 70)) == [0, 1]
+        assert list(lines_in_range(64, 128)) == [1]
+
+    def test_lines_in_range_empty(self):
+        assert list(lines_in_range(100, 100)) == []
+        assert list(lines_in_range(200, 100)) == []
+
+
+class TestAddressSpace:
+    def test_allocations_are_page_aligned(self):
+        space = AddressSpace()
+        a = space.alloc("a", 100)
+        b = space.alloc("b", PAGE_SIZE + 1)
+        assert a.base % PAGE_SIZE == 0
+        assert b.base % PAGE_SIZE == 0
+        assert a.size == PAGE_SIZE
+        assert b.size == 2 * PAGE_SIZE
+
+    def test_allocations_do_not_overlap(self):
+        space = AddressSpace()
+        bufs = [space.alloc(f"b{i}", 3000) for i in range(10)]
+        for first, second in zip(bufs, bufs[1:]):
+            assert first.end <= second.base
+
+    def test_buffer_ids_dense(self):
+        space = AddressSpace()
+        for i in range(5):
+            assert space.alloc(f"b{i}", 64).buffer_id == i
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().alloc("bad", 0)
+
+    def test_buffer_of_line_finds_owner(self):
+        space = AddressSpace()
+        a = space.alloc("a", PAGE_SIZE)
+        b = space.alloc("b", PAGE_SIZE)
+        assert space.buffer_of_line(a.first_line) is a
+        assert space.buffer_of_line(b.first_line) is b
+        assert space.buffer_of_line(b.first_line + b.num_lines) is None
+        assert space.buffer_of_line(0) is None
+
+    def test_footprint(self):
+        space = AddressSpace()
+        space.alloc("a", PAGE_SIZE)
+        space.alloc("b", PAGE_SIZE * 2)
+        assert space.footprint_bytes() == 3 * PAGE_SIZE
+
+
+class TestBuffer:
+    def test_num_lines(self):
+        buf = Buffer("x", PAGE_SIZE, PAGE_SIZE, 0)
+        assert buf.num_lines == PAGE_SIZE // LINE_SIZE
+
+    def test_slice_lines_partitions_exactly(self):
+        buf = Buffer("x", PAGE_SIZE, PAGE_SIZE * 4, 0)
+        slices = [buf.slice_lines(i, 4) for i in range(4)]
+        assert slices[0][0] == buf.first_line
+        assert slices[-1][1] == buf.first_line + buf.num_lines
+        for (lo1, hi1), (lo2, hi2) in zip(slices, slices[1:]):
+            assert hi1 == lo2
+
+    def test_slice_lines_uneven(self):
+        buf = Buffer("x", 0, LINE_SIZE * 10, 0)
+        total = sum(hi - lo for lo, hi in
+                    (buf.slice_lines(i, 3) for i in range(3)))
+        assert total == 10
+
+    def test_slice_out_of_range(self):
+        buf = Buffer("x", 0, LINE_SIZE * 8, 0)
+        with pytest.raises(ValueError):
+            buf.slice_lines(4, 4)
+        with pytest.raises(ValueError):
+            buf.slice_lines(-1, 4)
+
+    def test_byte_range_of_slice(self):
+        buf = Buffer("x", PAGE_SIZE, PAGE_SIZE * 2, 0)
+        lo, hi = buf.byte_range_of_slice(0, 2)
+        assert lo == buf.base
+        assert hi == buf.base + PAGE_SIZE
+
+    def test_contains_line(self):
+        buf = Buffer("x", PAGE_SIZE, PAGE_SIZE, 0)
+        assert buf.contains_line(buf.first_line)
+        assert buf.contains_line(buf.first_line + buf.num_lines - 1)
+        assert not buf.contains_line(buf.first_line + buf.num_lines)
+        assert not buf.contains_line(buf.first_line - 1)
+
+
+class TestHomeMap:
+    def test_first_touch_assigns(self):
+        homes = HomeMap(num_chiplets=4)
+        assert homes.home_of_line(100, toucher=2) == 2
+        # Sticky thereafter, regardless of who asks.
+        assert homes.home_of_line(100, toucher=0) == 2
+
+    def test_page_granularity(self):
+        homes = HomeMap(num_chiplets=4, lines_per_page=64)
+        homes.home_of_line(0, toucher=1)
+        assert homes.home_of_line(63, toucher=3) == 1   # same page
+        assert homes.home_of_line(64, toucher=3) == 3   # next page
+
+    def test_scaled_page_granularity(self):
+        homes = HomeMap(num_chiplets=4, lines_per_page=2)
+        homes.home_of_line(0, toucher=0)
+        assert homes.home_of_line(1, toucher=2) == 0
+        assert homes.home_of_line(2, toucher=2) == 2
+
+    def test_peek_does_not_assign(self):
+        homes = HomeMap(num_chiplets=4)
+        assert homes.peek_home_of_line(500) is None
+        assert homes.num_placed_pages == 0
+
+    def test_invalid_toucher_rejected(self):
+        homes = HomeMap(num_chiplets=2)
+        with pytest.raises(ValueError):
+            homes.home_of_line(0, toucher=5)
+
+    def test_placement_histogram(self):
+        homes = HomeMap(num_chiplets=2, lines_per_page=1)
+        homes.home_of_line(0, toucher=0)
+        homes.home_of_line(1, toucher=0)
+        homes.home_of_line(2, toucher=1)
+        assert homes.placement_histogram() == [2, 1]
+
+    def test_invalid_lines_per_page(self):
+        with pytest.raises(ValueError):
+            HomeMap(num_chiplets=2, lines_per_page=0)

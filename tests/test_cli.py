@@ -1,0 +1,70 @@
+"""Tests for the two command-line interfaces."""
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.experiments.__main__ import main as experiments_main
+
+
+class TestReproCLI:
+    def test_list(self, capsys):
+        assert repro_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "babelstream" in out
+        assert "cpelide" in out
+        assert "streams" in out
+
+    def test_run_compares_protocols(self, capsys):
+        rc = repro_main(["--scale", "0.015625", "run", "square",
+                         "--protocols", "baseline", "cpelide"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "square on 4 chiplets" in out
+        assert "cpelide" in out
+
+    def test_run_with_locality_scheduler(self, capsys):
+        rc = repro_main(["--scale", "0.015625", "run", "square",
+                         "--protocols", "cpelide",
+                         "--scheduler", "locality"])
+        assert rc == 0
+
+    def test_trace(self, capsys):
+        rc = repro_main(["--scale", "0.015625", "trace", "square",
+                         "--limit", "5"])
+        assert rc == 0
+        assert "sync trace" in capsys.readouterr().out
+
+    def test_occupancy_subset(self, capsys):
+        rc = repro_main(["--scale", "0.015625", "occupancy", "square",
+                         "nw"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "square" in out and "nw" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            repro_main(["run", "crysis"])
+
+    def test_chiplet_override(self, capsys):
+        rc = repro_main(["--scale", "0.015625", "--chiplets", "2",
+                         "run", "square", "--protocols", "baseline"])
+        assert rc == 0
+        assert "2 chiplets" in capsys.readouterr().out
+
+
+class TestExperimentsCLI:
+    def test_table1(self, capsys):
+        assert experiments_main(["table1"]) == 0
+        assert "1801 MHz" in capsys.readouterr().out
+
+    def test_table3(self, capsys):
+        assert experiments_main(["table3"]) == 0
+        assert "CPElide" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["fig99"])
+
+    def test_scale_flag_threads_through(self, capsys):
+        assert experiments_main(["scheduler", "--scale", "0.015625"]) == 0
+        assert "Scheduler ablation" in capsys.readouterr().out

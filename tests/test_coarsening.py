@@ -1,0 +1,89 @@
+"""Unit tests for >8-structure coarsening (Sec. III-B)."""
+
+from repro.core.coarsening import coarsen_regions, merge_two
+from repro.core.regions import AccessRegion
+from repro.cp.packets import AccessMode
+
+import pytest
+
+
+def region(name, base, end, mode=AccessMode.R, chiplet_ranges=None):
+    return AccessRegion(name=name, base=base, end=end, mode=mode,
+                        chiplet_ranges=dict(chiplet_ranges or {}))
+
+
+class TestMergeTwo:
+    def test_covers_both_extents(self):
+        merged = merge_two(region("a", 0, 100), region("b", 300, 400))
+        assert merged.base == 0 and merged.end == 400
+
+    def test_mode_conservative(self):
+        """R + R/W combines to R/W (Sec. III-B)."""
+        merged = merge_two(region("a", 0, 100, AccessMode.R),
+                           region("b", 100, 200, AccessMode.RW))
+        assert merged.mode is AccessMode.RW
+        merged = merge_two(region("a", 0, 100, AccessMode.R),
+                           region("b", 100, 200, AccessMode.R))
+        assert merged.mode is AccessMode.R
+
+    def test_tracks_all_chiplets(self):
+        """The combined entry tracks every chiplet any constituent was
+        assigned to."""
+        merged = merge_two(
+            region("a", 0, 100, chiplet_ranges={0: (0, 50)}),
+            region("b", 100, 200, chiplet_ranges={1: (100, 150)}))
+        assert set(merged.chiplet_ranges) == {0, 1}
+
+    def test_same_chiplet_ranges_unioned(self):
+        merged = merge_two(
+            region("a", 0, 100, chiplet_ranges={0: (0, 50)}),
+            region("b", 100, 200, chiplet_ranges={0: (150, 200)}))
+        assert merged.chiplet_ranges[0] == (0, 200)
+
+    def test_name_joins(self):
+        assert merge_two(region("a", 0, 10), region("b", 10, 20)).name == "a+b"
+
+
+class TestCoarsenRegions:
+    def test_no_op_when_within_budget(self):
+        regions = [region("a", 0, 100), region("b", 200, 300)]
+        assert coarsen_regions(regions, 8) == sorted(
+            regions, key=lambda r: r.base)
+
+    def test_reduces_to_budget(self):
+        regions = [region(f"r{i}", i * 1000, i * 1000 + 100)
+                   for i in range(12)]
+        out = coarsen_regions(regions, 8)
+        assert len(out) == 8
+
+    def test_prefers_contiguous(self):
+        """Contiguous structures merge before distant ones."""
+        regions = [
+            region("a", 0, 100),        # contiguous with b
+            region("b", 100, 200),
+            region("far", 100000, 100100),
+        ]
+        out = coarsen_regions(regions, 2)
+        names = {r.name for r in out}
+        assert "a+b" in names
+        assert "far" in names
+
+    def test_then_closest(self):
+        regions = [
+            region("a", 0, 100),
+            region("b", 200, 300),       # gap 100 to a
+            region("c", 10000, 10100),   # far away
+        ]
+        out = coarsen_regions(regions, 2)
+        assert {r.name for r in out} == {"a+b", "c"}
+
+    def test_extreme_budget_one(self):
+        regions = [region(f"r{i}", i * 500, i * 500 + 100) for i in range(5)]
+        out = coarsen_regions(regions, 1)
+        assert len(out) == 1
+        assert out[0].base == 0
+        assert out[0].end == 4 * 500 + 100
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            coarsen_regions([region("a", 0, 1)], 0)

@@ -1,0 +1,111 @@
+"""Unit tests for the GPU configuration (Table I)."""
+
+import pytest
+
+from repro.gpu.config import GPUConfig, monolithic_equivalent
+
+
+class TestTableIDefaults:
+    def test_headline_parameters(self):
+        config = GPUConfig()
+        assert config.gpu_clock_hz == 1801e6
+        assert config.cus_per_chiplet == 60
+        assert config.num_chiplets == 4
+        assert config.l2_size == 8 * 1024 * 1024
+        assert config.l2_assoc == 32
+        assert config.l2_local_latency == 269
+        assert config.l2_remote_latency == 390
+        assert config.l3_size == 16 * 1024 * 1024
+        assert config.l3_latency == 330
+        assert config.inter_chiplet_bandwidth == 768e9
+        assert config.num_compute_queues == 256
+
+    def test_total_cus_matches_table1_rows(self):
+        assert GPUConfig(num_chiplets=2).total_cus == 120
+        assert GPUConfig(num_chiplets=4).total_cus == 240
+        assert GPUConfig(num_chiplets=6).total_cus == 360
+
+    def test_table_rows_render(self):
+        rows = GPUConfig().table_rows()
+        features = [row[0] for row in rows]
+        assert "GPU Clock" in features
+        assert "Inter-chiplet Interconnect BW" in features
+        assert all(len(row) == 2 for row in rows)
+
+
+class TestScaling:
+    def test_scaled_sizes(self):
+        config = GPUConfig(scale=1 / 16)
+        assert config.scaled_l2_size == config.l2_size // 16
+        assert config.scaled_l3_size == config.l3_size // 16
+
+    def test_scaled_sizes_floor(self):
+        config = GPUConfig(scale=1e-9)
+        assert config.scaled_l2_size >= config.line_size * config.l2_assoc
+
+    def test_scaled_page_lines(self):
+        assert GPUConfig(scale=1.0).scaled_page_lines == 64
+        assert GPUConfig(scale=1 / 32).scaled_page_lines == 2
+        assert GPUConfig(scale=1e-6).scaled_page_lines == 1
+
+    def test_overhead_scale_follows_scale(self):
+        config = GPUConfig(scale=1 / 8)
+        assert config.effective_overhead_scale == pytest.approx(1 / 8)
+
+    def test_overhead_scale_override(self):
+        config = GPUConfig(scale=1 / 8, overhead_scale=1.0)
+        assert config.effective_overhead_scale == 1.0
+
+    def test_cp_latencies_scale(self):
+        paper = GPUConfig()
+        scaled = GPUConfig(scale=1 / 4)
+        assert scaled.cp_dispatch_cycles \
+            == pytest.approx(paper.cp_dispatch_cycles / 4)
+        assert scaled.cpelide_op_cycles \
+            == pytest.approx(paper.cpelide_op_cycles / 4)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            GPUConfig(scale=0)
+        with pytest.raises(ValueError):
+            GPUConfig(scale=2.0)
+
+    def test_invalid_chiplets(self):
+        with pytest.raises(ValueError):
+            GPUConfig(num_chiplets=0)
+
+
+class TestDerived:
+    def test_seconds_cycles_roundtrip(self):
+        config = GPUConfig()
+        assert config.cycles(config.seconds(12345.0)) == pytest.approx(12345.0)
+
+    def test_with_chiplets(self):
+        config = GPUConfig().with_chiplets(7)
+        assert config.num_chiplets == 7
+        assert config.total_cus == 420
+
+    def test_with_scale(self):
+        assert GPUConfig().with_scale(0.5).scale == 0.5
+
+    def test_chiplet_mlp(self):
+        config = GPUConfig()
+        assert config.chiplet_mlp == config.mlp_per_cu * 60
+
+
+class TestMonolithicEquivalent:
+    def test_preserves_totals(self):
+        base = GPUConfig(num_chiplets=4)
+        mono = monolithic_equivalent(base)
+        assert mono.num_chiplets == 1
+        assert mono.total_cus == base.total_cus
+        assert mono.l2_size == base.l2_size * 4
+        assert mono.l2_bandwidth_per_chiplet \
+            == base.l2_bandwidth_per_chiplet * 4
+        assert mono.dram_bandwidth_per_stack \
+            == base.dram_bandwidth_per_stack * 4
+
+    def test_aggregate_l2_preserved(self):
+        base = GPUConfig(num_chiplets=4, scale=1 / 16)
+        mono = monolithic_equivalent(base)
+        assert mono.aggregate_l2_size == base.aggregate_l2_size

@@ -1,0 +1,112 @@
+"""Unit tests for the CPElide protocol glue (table-driven sync)."""
+
+import pytest
+
+from repro.coherence.cpelide import CPElideProtocol
+from repro.core.states import ChipletState
+from repro.cp.local_cp import SyncOpKind
+from repro.cp.packets import AccessMode, ArgAccess, KernelPacket
+from repro.cp.wg_scheduler import Placement
+from repro.gpu.config import GPUConfig
+from repro.gpu.device import Device
+from repro.memory.address import AddressSpace
+
+from tests.conftest import TEST_SCALE
+
+
+@pytest.fixture
+def setup():
+    config = GPUConfig(num_chiplets=4, scale=TEST_SCALE)
+    device = Device(config)
+    return config, device, CPElideProtocol(config, device)
+
+
+@pytest.fixture
+def buf():
+    return AddressSpace().alloc("A", 16 * 4096)
+
+
+def launch(protocol, kid, args, chiplets=(0, 1, 2, 3)):
+    packet = KernelPacket(kernel_id=kid, name=f"k{kid}", stream_id=0,
+                          num_wgs=16, args=tuple(args))
+    placement = Placement(chiplets=tuple(chiplets),
+                          wg_counts=tuple(4 for _ in chiplets))
+    return protocol.on_kernel_launch(packet, placement), packet, placement
+
+
+class TestBoundaries:
+    def test_first_launch_no_ops(self, setup, buf):
+        _, _, protocol = setup
+        ops, _, _ = launch(protocol, 0, [ArgAccess(buf, AccessMode.RW)])
+        assert ops == []
+
+    def test_completion_is_lazy(self, setup, buf):
+        _, _, protocol = setup
+        _, packet, placement = launch(protocol, 0,
+                                      [ArgAccess(buf, AccessMode.RW)])
+        assert protocol.on_kernel_complete(packet, placement) == []
+
+    def test_table_sized_from_config(self, setup):
+        config, _, protocol = setup
+        assert protocol.table.capacity == (config.table_structs_per_kernel
+                                           * config.table_kernel_window)
+
+    def test_last_outcome_recorded(self, setup, buf):
+        _, _, protocol = setup
+        launch(protocol, 0, [ArgAccess(buf, AccessMode.RW)])
+        assert protocol.last_outcome is not None
+        assert protocol.last_outcome.releases_elided == 4
+
+
+class TestLaunchOverhead:
+    def test_first_kernel_pays_table_op(self, setup, buf):
+        config, _, protocol = setup
+        _, packet, _ = launch(protocol, 0, [ArgAccess(buf, AccessMode.RW)])
+        assert protocol.launch_overhead_cycles(packet) \
+            == pytest.approx(config.cpelide_op_cycles)
+
+    def test_later_kernels_hidden(self, setup, buf):
+        _, _, protocol = setup
+        _, packet, _ = launch(protocol, 0, [ArgAccess(buf, AccessMode.RW)])
+        protocol.launch_overhead_cycles(packet)
+        launch(protocol, 1, [ArgAccess(buf, AccessMode.RW)])
+        assert protocol.launch_overhead_cycles(packet) == 0.0
+
+
+class TestRangeExtension:
+    def test_range_ops_carry_ranges(self, buf):
+        config = GPUConfig(num_chiplets=4, scale=TEST_SCALE)
+        device = Device(config)
+        protocol = CPElideProtocol(config, device, range_ops=True)
+        assert protocol.name == "cpelide-range"
+        launch(protocol, 0, [ArgAccess(buf, AccessMode.RW)])
+        # Chiplet 0 alone rereads everything -> releases others, ranged.
+        packet = KernelPacket(kernel_id=1, name="k1", stream_id=0,
+                              num_wgs=16, args=(ArgAccess(buf, AccessMode.R),))
+        ops = protocol.on_kernel_launch(packet, Placement((0,), (16,)))
+        assert ops, "expected release ops"
+        assert all(op.ranges is not None for op in ops)
+        for op in ops:
+            for lo, hi in op.ranges:
+                assert buf.base <= lo < hi <= buf.end
+
+
+class TestIntrospection:
+    def test_table_state_lookup(self, setup, buf):
+        _, _, protocol = setup
+        launch(protocol, 0, [ArgAccess(buf, AccessMode.RW)])
+        assert protocol.table_state(buf.base, 0) == ChipletState.DIRTY
+        assert protocol.table_state(buf.end + 4096, 0) \
+            == ChipletState.NOT_PRESENT
+
+
+class TestEndToEndOps:
+    def test_cross_chiplet_consumer_triggers_release(self, setup, buf):
+        _, device, protocol = setup
+        launch(protocol, 0, [ArgAccess(buf, AccessMode.RW)])
+        packet = KernelPacket(kernel_id=1, name="k1", stream_id=0,
+                              num_wgs=16, args=(ArgAccess(buf, AccessMode.R),))
+        ops = protocol.on_kernel_launch(packet, Placement((0,), (16,)))
+        released = {op.chiplet for op in ops
+                    if op.kind is SyncOpKind.RELEASE}
+        assert released == {1, 2, 3}

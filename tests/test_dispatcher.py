@@ -1,0 +1,118 @@
+"""Unit tests for the local dispatcher / occupancy model."""
+
+import pytest
+
+from repro.cp.dispatcher import (
+    DEFAULT_RESOURCES,
+    KernelResources,
+    LocalDispatcher,
+)
+from repro.gpu.config import GPUConfig
+
+from tests.conftest import TEST_SCALE
+
+CONFIG = GPUConfig(num_chiplets=4, scale=TEST_SCALE)
+
+
+@pytest.fixture
+def dispatcher():
+    return LocalDispatcher(CONFIG)
+
+
+class TestOccupancy:
+    def test_default_resources_full_occupancy(self, dispatcher):
+        """The neutral default reaches Table I's 40 wavefronts per CU."""
+        report = dispatcher.occupancy(DEFAULT_RESOURCES)
+        assert report.max_wavefronts == 40
+        assert report.wavefronts == 40
+        assert report.fraction == 1.0
+
+    def test_vgpr_pressure_limits(self, dispatcher):
+        """Heavy register use cuts resident wavefronts (256 KB VGPR file)."""
+        hungry = KernelResources(vgprs_per_thread=128)
+        report = dispatcher.occupancy(hungry)
+        # 256 KB / (128 * 64 lanes * 4 B) = 8 wavefronts.
+        assert report.vgpr_limited == 8
+        assert report.wavefronts == 8
+        assert report.fraction == pytest.approx(0.2)
+
+    def test_lds_pressure_limits(self, dispatcher):
+        """A 32 KB-per-WG kernel fits 2 WGs in the 64 KB LDS."""
+        heavy = KernelResources(lds_bytes_per_wg=32 * 1024,
+                                wavefronts_per_wg=4)
+        report = dispatcher.occupancy(heavy)
+        assert report.lds_limited == 8
+        assert report.wavefronts == 8
+
+    def test_sgpr_pressure_limits(self, dispatcher):
+        hungry = KernelResources(sgprs_per_wavefront=800)
+        report = dispatcher.occupancy(hungry)
+        # 12.5 KB / (800 * 4 B) = 4 wavefronts.
+        assert report.sgpr_limited == 4
+        assert report.wavefronts == 4
+
+    def test_wg_granularity_rounds_down(self, dispatcher):
+        """With 3-WF work-groups, a 40-WF budget fits 13 whole WGs = 39."""
+        resources = KernelResources(wavefronts_per_wg=3)
+        report = dispatcher.occupancy(resources)
+        assert report.wavefronts == 39
+
+    def test_at_least_one_wg_always_runs(self, dispatcher):
+        monster = KernelResources(vgprs_per_thread=256,
+                                  wavefronts_per_wg=10)
+        report = dispatcher.occupancy(monster)
+        assert report.wavefronts >= 1
+
+    def test_invalid_resources(self):
+        with pytest.raises(ValueError):
+            KernelResources(vgprs_per_thread=0)
+        with pytest.raises(ValueError):
+            KernelResources(lds_bytes_per_wg=-1)
+        with pytest.raises(ValueError):
+            KernelResources(wavefronts_per_wg=0)
+
+
+class TestDispatchRounds:
+    def test_single_round_when_everything_fits(self, dispatcher):
+        # 40 WFs / 4 per WG = 10 WGs per CU, x60 CUs = 600 concurrent.
+        assert dispatcher.dispatch_rounds(600, DEFAULT_RESOURCES) == 1
+
+    def test_multiple_rounds(self, dispatcher):
+        assert dispatcher.dispatch_rounds(601, DEFAULT_RESOURCES) == 2
+        assert dispatcher.dispatch_rounds(1800, DEFAULT_RESOURCES) == 3
+
+    def test_invalid_wgs(self, dispatcher):
+        with pytest.raises(ValueError):
+            dispatcher.dispatch_rounds(0, DEFAULT_RESOURCES)
+
+
+class TestTimingIntegration:
+    def test_low_occupancy_slows_memory_bound_kernels(self):
+        from repro.gpu.sim import Simulator
+        from repro.memory.address import AddressSpace
+        from repro.cp.packets import AccessMode
+        from repro.workloads.base import Kernel, KernelArg, Workload
+
+        def build(resources):
+            space = AddressSpace()
+            buf = space.alloc("A", 32 * 4096)
+            kernels = [Kernel("k", args=(KernelArg(buf, AccessMode.R),),
+                              resources=resources)
+                       for _ in range(4)]
+            return Workload(name="occ", space=space, kernels=kernels)
+
+        full = Simulator(CONFIG, "cpelide").run(build(None)).wall_cycles
+        starved = Simulator(CONFIG, "cpelide").run(
+            build(KernelResources(vgprs_per_thread=128))).wall_cycles
+        assert starved > full
+
+    def test_mlp_factor_validated(self):
+        from repro.timing.model import TimingModel
+        from repro.cp.wg_scheduler import Placement
+        from repro.interconnect.noc import TrafficMeter
+        from repro.metrics.stats import AccessCounts
+        model = TimingModel(CONFIG)
+        with pytest.raises(ValueError):
+            model.kernel_time(Placement((0,), (1,)), [AccessCounts()] * 4,
+                              TrafficMeter(), 0.0, 0, 0, False, 0.0,
+                              mlp_factor=0.0)

@@ -1,0 +1,251 @@
+"""Behavioral tests for the elision engine (Sec. III-B/III-C scenarios)."""
+
+import pytest
+
+from repro.core.elision import ElisionEngine
+from repro.core.states import ChipletState
+from repro.core.table import ChipletCoherenceTable
+from repro.cp.local_cp import SyncOpKind
+from repro.cp.packets import AccessMode, ArgAccess, KernelPacket, RangeAnnotation
+from repro.cp.wg_scheduler import Placement
+from repro.memory.address import AddressSpace
+
+N = 4  # chiplets
+
+
+@pytest.fixture
+def engine():
+    return ElisionEngine(ChipletCoherenceTable(num_chiplets=N))
+
+
+@pytest.fixture
+def buffers():
+    space = AddressSpace()
+    return space.alloc("A", 16 * 4096), space.alloc("B", 16 * 4096)
+
+
+def placement(chiplets):
+    return Placement(chiplets=tuple(chiplets),
+                     wg_counts=tuple(4 for _ in chiplets))
+
+
+def launch(engine, kernel_id, args, chiplets=range(N)):
+    packet = KernelPacket(kernel_id=kernel_id, name=f"k{kernel_id}",
+                          stream_id=0, num_wgs=16, args=tuple(args))
+    return engine.process_launch(packet, placement(chiplets))
+
+
+def shared(buf, mode):
+    """Whole-buffer annotation for every scheduled chiplet."""
+    return ArgAccess(buf, mode, ranges=tuple(
+        RangeAnnotation(buf.base, buf.end, logical) for logical in range(N)))
+
+
+def kinds(ops):
+    return [(op.kind, op.chiplet) for op in ops]
+
+
+class TestStayInDirty:
+    def test_same_placement_rw_elides_everything(self, engine, buffers):
+        """Sec. III-B Stay-in-Dirty: iterating on the same chiplets over
+        the same ranges needs no synchronization at all."""
+        a, _ = buffers
+        for kid in range(5):
+            outcome = launch(engine, kid, [ArgAccess(a, AccessMode.RW)])
+            assert outcome.ops == []
+            assert outcome.releases_elided == N
+            assert outcome.acquires_elided == N
+
+    def test_read_after_local_write_elides(self, engine, buffers):
+        a, _ = buffers
+        launch(engine, 0, [ArgAccess(a, AccessMode.RW)])
+        outcome = launch(engine, 1, [ArgAccess(a, AccessMode.R)])
+        assert outcome.ops == []
+        # Dirty data stays Dirty under a local read (Stay-in-Dirty rule).
+        entry = engine.table.entries[0]
+        assert all(s == ChipletState.DIRTY for s in entry.states)
+
+
+class TestReadOnlySharing:
+    def test_remote_reads_keep_valid(self, engine, buffers):
+        """Sec. III-B: caches retain clean copies when other chiplets are
+        also only reading a given range."""
+        a, _ = buffers
+        launch(engine, 0, [ArgAccess(a, AccessMode.R)])
+        for kid in range(1, 4):
+            outcome = launch(engine, kid, [shared(a, AccessMode.R)])
+            assert outcome.ops == []
+
+
+class TestLazyRelease:
+    def test_release_only_for_dirty_holders_needed_elsewhere(self, engine,
+                                                             buffers):
+        a, _ = buffers
+        # Kernel 0: every chiplet writes its slice.
+        launch(engine, 0, [ArgAccess(a, AccessMode.RW)])
+        # Kernel 1: chiplet 0 alone reads the whole structure.
+        packet = KernelPacket(kernel_id=1, name="k1", stream_id=0, num_wgs=16,
+                              args=(ArgAccess(a, AccessMode.R),))
+        outcome = engine.process_launch(packet, placement([0]))
+        released = {c for k, c in kinds(outcome.ops) if k is SyncOpKind.RELEASE}
+        # Chiplets 1-3 must flush; chiplet 0 reads its own dirty data.
+        assert released == {1, 2, 3}
+        acquires = [c for k, c in kinds(outcome.ops) if k is SyncOpKind.ACQUIRE]
+        assert acquires == []
+
+    def test_no_release_when_consumer_is_producer(self, engine, buffers):
+        a, _ = buffers
+        launch(engine, 0, [ArgAccess(a, AccessMode.RW)], chiplets=[2])
+        outcome = launch(engine, 1, [ArgAccess(a, AccessMode.R)], chiplets=[2])
+        assert outcome.ops == []
+
+
+class TestLazyAcquire:
+    def test_acquire_deferred_until_stale_chiplet_reaccesses(self, engine,
+                                                             buffers):
+        a, _ = buffers
+        # K0: all chiplets read their slices (Valid everywhere).
+        launch(engine, 0, [ArgAccess(a, AccessMode.R)])
+        # K1: chiplet 0 writes the whole structure -> others become Stale,
+        # but no op is issued yet (lazy acquire).
+        packet = KernelPacket(kernel_id=1, name="k1", stream_id=0, num_wgs=16,
+                              args=(ArgAccess(a, AccessMode.RW),))
+        outcome = engine.process_launch(packet, placement([0]))
+        assert all(k is not SyncOpKind.ACQUIRE for k, _ in kinds(outcome.ops))
+        entry = engine.table.entries[0]
+        assert entry.states[1] == ChipletState.STALE
+        assert entry.states[2] == ChipletState.STALE
+        # K2: everyone reads again -> stale chiplets acquire now.
+        outcome = launch(engine, 2, [ArgAccess(a, AccessMode.R)])
+        acquired = {c for k, c in kinds(outcome.ops) if k is SyncOpKind.ACQUIRE}
+        assert acquired == {1, 2, 3}
+
+    def test_stale_chiplet_not_accessing_is_left_alone(self, engine, buffers):
+        a, _ = buffers
+        launch(engine, 0, [ArgAccess(a, AccessMode.R)])
+        packet = KernelPacket(kernel_id=1, name="k1", stream_id=0, num_wgs=16,
+                              args=(ArgAccess(a, AccessMode.RW),))
+        engine.process_launch(packet, placement([0]))
+        # K2 runs only on chiplets 0 and 1: chiplets 2-3 stay Stale, no op.
+        packet = KernelPacket(kernel_id=2, name="k2", stream_id=0, num_wgs=16,
+                              args=(ArgAccess(a, AccessMode.R),))
+        outcome = engine.process_launch(packet, placement([0, 1]))
+        targeted = {c for _, c in kinds(outcome.ops)}
+        assert 2 not in targeted and 3 not in targeted
+
+
+class TestProducerConsumerAcrossChiplets:
+    def test_flush_then_stale_then_acquire(self, engine, buffers):
+        a, _ = buffers
+        # K0: chiplet 0 writes all of A.
+        packet = KernelPacket(kernel_id=0, name="k0", stream_id=0, num_wgs=16,
+                              args=(ArgAccess(a, AccessMode.RW),))
+        engine.process_launch(packet, placement([0]))
+        # K1: chiplet 1 writes all of A -> chiplet 0 must flush first, and
+        # its copy becomes Stale afterwards.
+        packet = KernelPacket(kernel_id=1, name="k1", stream_id=0, num_wgs=16,
+                              args=(ArgAccess(a, AccessMode.RW),))
+        outcome = engine.process_launch(packet, placement([1]))
+        assert (SyncOpKind.RELEASE, 0) in kinds(outcome.ops)
+        entry = engine.table.entries[0]
+        assert entry.states[0] == ChipletState.STALE
+        assert entry.states[1] == ChipletState.DIRTY
+
+    def test_release_precedes_acquire_on_same_chiplet(self, engine, buffers):
+        a, b = buffers
+        # Make chiplet 0 dirty on A and stale on B simultaneously.
+        packet = KernelPacket(kernel_id=0, name="k0", stream_id=0, num_wgs=16,
+                              args=(ArgAccess(a, AccessMode.RW),
+                                    ArgAccess(b, AccessMode.R)))
+        engine.process_launch(packet, placement([0]))
+        packet = KernelPacket(kernel_id=1, name="k1", stream_id=0, num_wgs=16,
+                              args=(ArgAccess(b, AccessMode.RW),))
+        engine.process_launch(packet, placement([1]))  # B stale on 0
+        # K2 on chiplets 0 and 1 reads both structures: chiplet 1 needs
+        # A's dirty data from chiplet 0 (release 0) and chiplet 0 rereads
+        # the B range that went stale (acquire 0).
+        packet = KernelPacket(kernel_id=2, name="k2", stream_id=0, num_wgs=16,
+                              args=(shared(a, AccessMode.R),
+                                    shared(b, AccessMode.R)))
+        outcome = engine.process_launch(packet, placement([0, 1]))
+        ops0 = [op.kind for op in outcome.ops if op.chiplet == 0]
+        if SyncOpKind.ACQUIRE in ops0 and SyncOpKind.RELEASE in ops0:
+            assert ops0.index(SyncOpKind.RELEASE) \
+                < ops0.index(SyncOpKind.ACQUIRE)
+
+
+class TestHomeRangeClipping:
+    def test_remote_only_reads_create_no_phantom_residency(self, engine,
+                                                           buffers):
+        a, _ = buffers
+        # K0 fixes first-touch homes: each chiplet owns its slice.
+        launch(engine, 0, [ArgAccess(a, AccessMode.RW)])
+        # K1: every chiplet reads the whole structure (remote reads are
+        # forwarded to homes; nothing new becomes locally resident).
+        launch(engine, 1, [shared(a, AccessMode.R)])
+        entry = engine.table.entries[0]
+        for chiplet in range(N):
+            lo, hi = entry.ranges[chiplet]
+            expected = a.byte_range_of_slice(chiplet, N)
+            assert (lo, hi) == expected
+        # K2: chiplet 2 writes only slice 0's bytes -> only chiplet 0 can
+        # be stale; chiplets 1 and 3 keep their slices untouched.
+        s0 = a.byte_range_of_slice(0, N)
+        packet = KernelPacket(
+            kernel_id=2, name="k2", stream_id=0, num_wgs=16,
+            args=(ArgAccess(a, AccessMode.RW,
+                            ranges=(RangeAnnotation(s0[0], s0[1], 0),)),))
+        engine.process_launch(packet, placement([2]))
+        entry = engine.table.entries[0]
+        assert entry.states[0] == ChipletState.STALE
+        # K1's shared read released every dirty holder (remote readers
+        # need the data), so 1 and 3 hold clean copies — and, crucially,
+        # they are NOT marked stale by the slice-0 write thanks to the
+        # home-range clipping (their tracked ranges are their own slices).
+        assert entry.states[1] == ChipletState.VALID
+        assert entry.states[3] == ChipletState.VALID
+
+
+class TestOverflow:
+    def test_overflow_issues_conservative_ops(self, buffers):
+        engine = ElisionEngine(ChipletCoherenceTable(
+            num_chiplets=N, structs_per_kernel=2, kernel_window=1))
+        space = AddressSpace()
+        bufs = [space.alloc(f"b{i}", 64 * 4096 * (i + 1)) for i in range(4)]
+        launch(engine, 0, [ArgAccess(bufs[0], AccessMode.RW)])
+        launch(engine, 1, [ArgAccess(bufs[1], AccessMode.RW)])
+        # Third distinct structure overflows the 2-entry table; the victim
+        # (bufs[0], Dirty everywhere) must be conservatively synchronized.
+        outcome = launch(engine, 2, [ArgAccess(bufs[2], AccessMode.RW)])
+        released = [c for k, c in kinds(outcome.ops)
+                    if k is SyncOpKind.RELEASE]
+        acquired = [c for k, c in kinds(outcome.ops)
+                    if k is SyncOpKind.ACQUIRE]
+        assert sorted(released) == list(range(N))
+        assert sorted(acquired) == list(range(N))
+        assert engine.table.overflow_evictions == 1
+
+
+class TestCoarseningIntegration:
+    def test_more_than_eight_structures_coarsened(self, engine):
+        space = AddressSpace()
+        bufs = [space.alloc(f"b{i}", 4096) for i in range(12)]
+        outcome = launch(engine, 0,
+                         [ArgAccess(b, AccessMode.RW) for b in bufs])
+        assert len(engine.table) <= engine.table.structs_per_kernel
+
+
+class TestElisionCounters:
+    def test_counts_reflect_baseline_comparison(self, engine, buffers):
+        a, _ = buffers
+        outcome = launch(engine, 0, [ArgAccess(a, AccessMode.RW)])
+        assert outcome.acquires_issued == 0
+        assert outcome.releases_issued == 0
+        assert outcome.acquires_elided == N
+        assert outcome.releases_elided == N
+
+    def test_table_checks_once_per_kernel(self, engine, buffers):
+        a, _ = buffers
+        launch(engine, 0, [ArgAccess(a, AccessMode.RW)])
+        outcome = launch(engine, 1, [ArgAccess(a, AccessMode.RW)])
+        assert outcome.table_checks == 1

@@ -1,0 +1,167 @@
+"""Property-based safety check of the elision engine.
+
+A reference oracle simulates the semantic protocol exactly at line
+granularity — per-chiplet L2 contents with versions and dirty bits,
+memory-side versions, forward-to-home routing, write-through remote
+stores — applies the engine's acquire/release decisions, and asserts the
+SC-for-HRF safety property: **no chiplet ever observes a stale version of
+a line at a kernel boundary**, no matter which acquires/releases the
+engine elided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.elision import ElisionEngine
+from repro.core.regions import region_from_arg
+from repro.core.table import ChipletCoherenceTable
+from repro.cp.local_cp import SyncOpKind
+from repro.cp.packets import AccessMode, ArgAccess, KernelPacket, RangeAnnotation
+from repro.cp.wg_scheduler import Placement
+from repro.memory.address import LINE_SIZE, AddressSpace
+
+N_CHIPLETS = 4
+NUM_BUFFERS = 3
+BUFFER_PAGES = 2  # small buffers keep the oracle fast
+
+
+@dataclass
+class Oracle:
+    """Semantic model of the Baseline/CPElide data path."""
+
+    num_chiplets: int
+    #: line -> latest committed version number.
+    latest: Dict[int, int] = field(default_factory=dict)
+    #: line -> version visible in memory (L3/DRAM side).
+    memory: Dict[int, int] = field(default_factory=dict)
+    #: chiplet -> line -> (version, dirty).
+    l2: List[Dict[int, Tuple[int, bool]]] = field(default_factory=list)
+    #: line -> home chiplet (first touch).
+    homes: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.l2:
+            self.l2 = [dict() for _ in range(self.num_chiplets)]
+
+    def home_of(self, line: int, toucher: int) -> int:
+        return self.homes.setdefault(line, toucher)
+
+    # -- sync ops -------------------------------------------------------
+
+    def release(self, chiplet: int) -> None:
+        """Flush: write back dirty lines, retain clean copies."""
+        for line, (version, dirty) in list(self.l2[chiplet].items()):
+            if dirty:
+                self.memory[line] = max(self.memory.get(line, 0), version)
+                self.l2[chiplet][line] = (version, False)
+
+    def acquire(self, chiplet: int) -> None:
+        """Invalidate: write back dirty (safety) then drop everything."""
+        self.release(chiplet)
+        self.l2[chiplet].clear()
+
+    # -- demand accesses -------------------------------------------------
+
+    def read(self, chiplet: int, line: int) -> None:
+        home = self.home_of(line, chiplet)
+        held = self.l2[home].get(line)
+        seen = held[0] if held is not None else self.memory.get(line, 0)
+        expected = self.latest.get(line, 0)
+        assert seen == expected, (
+            f"STALE READ: chiplet {chiplet} line {line:#x} saw v{seen}, "
+            f"latest is v{expected} (home {home})")
+        if home == chiplet and held is None:
+            # Local miss allocates from memory.
+            self.l2[chiplet][line] = (seen, False)
+
+    def write(self, chiplet: int, line: int) -> None:
+        home = self.home_of(line, chiplet)
+        version = self.latest.get(line, 0) + 1
+        self.latest[line] = version
+        if home == chiplet:
+            self.l2[chiplet][line] = (version, True)
+        else:
+            # Remote store: write through to memory and invalidate the
+            # home L2's now-stale copy (matching BaselineProtocol).
+            self.memory[line] = version
+            self.l2[home].pop(line, None)
+
+
+def lines_of_range(byte_range) -> range:
+    lo, hi = byte_range
+    return range(lo // LINE_SIZE, (hi + LINE_SIZE - 1) // LINE_SIZE)
+
+
+# Strategy: a kernel = (buffer idx, mode, shared?, chiplet subset).
+kernel_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=NUM_BUFFERS - 1),
+        st.sampled_from([AccessMode.R, AccessMode.RW]),
+        st.booleans(),                    # shared whole-buffer annotation?
+        st.sets(st.integers(min_value=0, max_value=N_CHIPLETS - 1),
+                min_size=1, max_size=N_CHIPLETS),
+    ),
+    min_size=1, max_size=14)
+
+
+@given(kernel_specs)
+@settings(max_examples=120, deadline=None)
+def test_elision_never_allows_stale_reads(specs):
+    space = AddressSpace()
+    buffers = [space.alloc(f"b{i}", BUFFER_PAGES * 4096)
+               for i in range(NUM_BUFFERS)]
+    engine = ElisionEngine(ChipletCoherenceTable(num_chiplets=N_CHIPLETS))
+    oracle = Oracle(num_chiplets=N_CHIPLETS)
+
+    for kernel_id, (buf_idx, mode, is_shared, chiplets) in enumerate(specs):
+        buf = buffers[buf_idx]
+        chiplet_list = tuple(sorted(chiplets))
+        placement = Placement(chiplets=chiplet_list,
+                              wg_counts=tuple(4 for _ in chiplet_list))
+        if is_shared and mode is AccessMode.R:
+            # Shared read: everyone touches the whole structure.
+            arg = ArgAccess(buf, mode, ranges=tuple(
+                RangeAnnotation(buf.base, buf.end, logical)
+                for logical in range(len(chiplet_list))))
+        else:
+            # Partitioned (the only race-free way to share writes).
+            arg = ArgAccess(buf, mode, ranges=None)
+        packet = KernelPacket(kernel_id=kernel_id, name=f"k{kernel_id}",
+                              stream_id=0, num_wgs=16, args=(arg,))
+
+        outcome = engine.process_launch(packet, placement)
+        for op in outcome.ops:
+            if op.kind is SyncOpKind.RELEASE:
+                oracle.release(op.chiplet)
+            else:
+                oracle.acquire(op.chiplet)
+
+        region = region_from_arg(arg, placement)
+        for chiplet, byte_range in region.chiplet_ranges.items():
+            for line in lines_of_range(byte_range):
+                oracle.read(chiplet, line)
+                if mode.writes:
+                    oracle.write(chiplet, line)
+
+
+@given(kernel_specs)
+@settings(max_examples=60, deadline=None)
+def test_table_never_exceeds_capacity(specs):
+    space = AddressSpace()
+    buffers = [space.alloc(f"b{i}", BUFFER_PAGES * 4096)
+               for i in range(NUM_BUFFERS)]
+    table = ChipletCoherenceTable(num_chiplets=N_CHIPLETS)
+    engine = ElisionEngine(table)
+    for kernel_id, (buf_idx, mode, _shared, chiplets) in enumerate(specs):
+        chiplet_list = tuple(sorted(chiplets))
+        placement = Placement(chiplets=chiplet_list,
+                              wg_counts=tuple(4 for _ in chiplet_list))
+        packet = KernelPacket(
+            kernel_id=kernel_id, name=f"k{kernel_id}", stream_id=0,
+            num_wgs=16, args=(ArgAccess(buffers[buf_idx], mode),))
+        engine.process_launch(packet, placement)
+        assert len(table) <= table.capacity

@@ -1,0 +1,64 @@
+"""Unit tests for the energy model (Fig. 9 breakdown)."""
+
+import pytest
+
+from repro.energy.model import EnergyModel, EnergyParams
+from repro.interconnect.noc import TrafficMeter
+from repro.metrics.stats import AccessCounts
+
+
+@pytest.fixture
+def model():
+    return EnergyModel()
+
+
+class TestBreakdown:
+    def test_components_match_fig9(self, model):
+        bd = model.breakdown(AccessCounts(), TrafficMeter())
+        assert set(bd) == set(EnergyModel.COMPONENTS) | {"total"}
+
+    def test_zero_counts_zero_energy(self, model):
+        bd = model.breakdown(AccessCounts(), TrafficMeter())
+        assert bd["total"] == 0.0
+
+    def test_total_is_sum(self, model):
+        counts = AccessCounts(l1_accesses=100, lds_accesses=10,
+                              l2_local_hits=50, dram_reads=5)
+        traffic = TrafficMeter()
+        traffic.l2_data(10)
+        bd = model.breakdown(counts, traffic)
+        assert bd["total"] == pytest.approx(
+            sum(bd[c] for c in EnergyModel.COMPONENTS))
+
+    def test_dram_access_dominates_l2_access(self, model):
+        dram = model.breakdown(AccessCounts(dram_reads=1), TrafficMeter())
+        l2 = model.breakdown(AccessCounts(l2_local_hits=1), TrafficMeter())
+        assert dram["total"] > l2["total"]
+
+    def test_relative_magnitudes(self):
+        """DRAM >> NOC/L3 flit >> L2 > L1 > LDS — what Fig. 9 relies on."""
+        p = EnergyParams()
+        assert p.dram_access > p.l2_access > p.l1d_access > p.lds_access
+        assert p.noc_remote_flit > p.noc_l2_l3_flit > p.noc_l1_l2_flit
+
+    def test_writethroughs_add_l2_energy(self, model):
+        plain = model.breakdown(AccessCounts(l2_local_hits=10),
+                                TrafficMeter())
+        wt = model.breakdown(
+            AccessCounts(l2_local_hits=10, l2_writethroughs=10),
+            TrafficMeter())
+        assert wt["l2"] > plain["l2"]
+
+    def test_noc_split_by_link_type(self, model):
+        t1 = TrafficMeter()
+        t1.l1_data(10)
+        t2 = TrafficMeter()
+        t2.remote_data(10)
+        cheap = model.breakdown(AccessCounts(), t1)
+        costly = model.breakdown(AccessCounts(), t2)
+        assert costly["noc"] > cheap["noc"]
+
+    def test_custom_params(self):
+        model = EnergyModel(EnergyParams(dram_access=1.0))
+        bd = model.breakdown(AccessCounts(dram_reads=3), TrafficMeter())
+        assert bd["dram"] == pytest.approx(3.0)

@@ -1,0 +1,52 @@
+"""Tests for the CSV export helpers."""
+
+import csv
+import io
+
+from repro.experiments.runner import run_matrix, run_one
+from repro.metrics.export import KERNEL_COLUMNS, MATRIX_COLUMNS, matrix_to_csv, run_to_csv
+
+from tests.conftest import TEST_SCALE
+
+
+class TestMatrixExport:
+    def test_header_and_rows(self):
+        matrix = run_matrix(workloads=("square",),
+                            protocols=("baseline", "cpelide"),
+                            scale=TEST_SCALE)
+        text = matrix_to_csv(matrix)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert tuple(rows[0]) == MATRIX_COLUMNS
+        assert len(rows) == 3  # header + 2 cells
+
+    def test_speedup_column_consistent(self):
+        matrix = run_matrix(workloads=("square",),
+                            protocols=("baseline", "cpelide"),
+                            scale=TEST_SCALE)
+        text = matrix_to_csv(matrix)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        by_protocol = {row["protocol"]: row for row in rows}
+        assert float(by_protocol["baseline"]["speedup_vs_baseline"]) == 1.0
+        assert float(by_protocol["cpelide"]["speedup_vs_baseline"]) > 1.0
+
+    def test_values_parse_numerically(self):
+        matrix = run_matrix(workloads=("square",),
+                            protocols=("baseline",), scale=TEST_SCALE)
+        row = next(csv.DictReader(io.StringIO(matrix_to_csv(matrix))))
+        assert float(row["wall_cycles"]) > 0
+        assert 0.0 <= float(row["l2_miss_rate"]) <= 1.0
+        assert float(row["energy_j"]) > 0
+
+
+class TestRunExport:
+    def test_one_row_per_kernel(self):
+        result = run_one("square", "cpelide", scale=TEST_SCALE)
+        text = run_to_csv(result.metrics)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert tuple(rows[0]) == KERNEL_COLUMNS
+        assert len(rows) == 1 + result.metrics.num_kernels
+
+    def test_kernel_names_preserved(self):
+        result = run_one("square", "cpelide", scale=TEST_SCALE)
+        rows = list(csv.DictReader(io.StringIO(run_to_csv(result.metrics))))
+        assert rows[0]["kernel_name"] == "square"

@@ -1,0 +1,128 @@
+"""Tests for the HIP-like runtime front end (Listings 1-2)."""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.hip.runtime import HipRuntime
+from repro.memory.address import PAGE_SIZE
+
+from tests.conftest import TEST_SCALE
+
+
+@pytest.fixture
+def rt():
+    return HipRuntime(GPUConfig(num_chiplets=4, scale=TEST_SCALE),
+                      protocol="cpelide")
+
+
+class TestMalloc:
+    def test_page_aligned(self, rt):
+        buf = rt.hip_malloc("A", 100)
+        assert buf.base % PAGE_SIZE == 0
+
+    def test_distinct_buffers(self, rt):
+        a = rt.hip_malloc("A", PAGE_SIZE)
+        b = rt.hip_malloc("B", PAGE_SIZE)
+        assert a.end <= b.base
+
+
+class TestAccessModes:
+    def test_listing1_flow(self, rt):
+        """The Listing 1 example end to end."""
+        a = rt.hip_malloc("A", 64 * 4096)
+        c = rt.hip_malloc("C", 64 * 4096)
+        square = rt.kernel("square", compute_intensity=1.0)
+        rt.hip_set_access_mode(square, c, "R/W")
+        rt.hip_set_access_mode(square, a, "R")
+        rt.hip_launch_kernel(square)
+        result = rt.run("listing1")
+        assert result.metrics.num_kernels >= 1
+        assert result.wall_cycles > 0
+
+    def test_mode_parsing(self, rt):
+        buf = rt.hip_malloc("A", PAGE_SIZE)
+        k = rt.kernel("k")
+        rt.hip_set_access_mode(k, buf, "r")
+        rt.hip_set_access_mode(k, buf, "RW")
+        rt.hip_set_access_mode(k, buf, "R/W")
+        with pytest.raises(ValueError):
+            rt.hip_set_access_mode(k, buf, "WO")
+
+    def test_unannotated_kernel_rejected(self, rt):
+        k = rt.kernel("empty")
+        with pytest.raises(ValueError, match="no access-mode annotations"):
+            rt.hip_launch_kernel(k)
+
+
+class TestRanges:
+    def test_listing2_ranges_validated(self, rt):
+        c = rt.hip_malloc("C", 64 * 4096)
+        k = rt.kernel("square")
+        mid = c.base + c.size // 2
+        rt.hip_set_access_mode_range(k, c, "R/W", [
+            (c.base, mid, 0), (mid, c.end, 1)])
+        rt.hip_launch_kernel(k)
+
+    def test_out_of_buffer_range_rejected(self, rt):
+        c = rt.hip_malloc("C", PAGE_SIZE)
+        k = rt.kernel("square")
+        with pytest.raises(ValueError, match="outside buffer"):
+            rt.hip_set_access_mode_range(k, c, "R/W",
+                                         [(c.base, c.end + 64, 0)])
+
+
+class TestStreams:
+    def test_hip_set_device_binds_stream(self, rt):
+        buf = rt.hip_malloc("A", 16 * 4096)
+        rt.hip_set_device(stream=1, chiplets=[2, 3])
+        k = rt.kernel("k", stream=1)
+        rt.hip_set_access_mode(k, buf, "R/W")
+        rt.hip_launch_kernel(k)
+        result = rt.run()
+        assert result.metrics.kernels[0].chiplets_used == 2
+
+    def test_empty_binding_rejected(self, rt):
+        with pytest.raises(ValueError):
+            rt.hip_set_device(stream=0, chiplets=[])
+
+
+class TestEndToEnd:
+    def test_iterated_launches_benefit_from_elision(self):
+        results = {}
+        for protocol in ("baseline", "cpelide"):
+            rt = HipRuntime(GPUConfig(num_chiplets=4, scale=TEST_SCALE),
+                            protocol=protocol)
+            a = rt.hip_malloc("A", 64 * 4096)
+            c = rt.hip_malloc("C", 64 * 4096)
+            for _ in range(8):
+                k = rt.kernel("square", compute_intensity=1.0)
+                rt.hip_set_access_mode(k, a, "R")
+                rt.hip_set_access_mode(k, c, "R/W")
+                rt.hip_launch_kernel(k)
+            results[protocol] = rt.run().wall_cycles
+        assert results["cpelide"] < results["baseline"]
+
+
+class TestKernelResources:
+    def test_resources_flow_through(self):
+        from repro.cp.dispatcher import KernelResources
+        rt = HipRuntime(GPUConfig(num_chiplets=4, scale=TEST_SCALE))
+        buf = rt.hip_malloc("A", 16 * 4096)
+        k = rt.kernel("heavy", resources=KernelResources(vgprs_per_thread=128))
+        rt.hip_set_access_mode(k, buf, "R")
+        rt.hip_launch_kernel(k)
+        frozen = rt._kernels[-1]
+        assert frozen.resources is not None
+        assert frozen.resources.vgprs_per_thread == 128
+
+    def test_resources_survive_stream_binding(self):
+        from repro.cp.dispatcher import KernelResources
+        rt = HipRuntime(GPUConfig(num_chiplets=4, scale=TEST_SCALE))
+        rt.hip_set_device(stream=0, chiplets=[0, 1])
+        buf = rt.hip_malloc("A", 16 * 4096)
+        k = rt.kernel("heavy", resources=KernelResources(lds_bytes_per_wg=8192))
+        rt.hip_set_access_mode(k, buf, "R")
+        rt.hip_launch_kernel(k)
+        frozen = rt._kernels[-1]
+        assert frozen.chiplet_mask == (0, 1)
+        assert frozen.resources.lds_bytes_per_wg == 8192

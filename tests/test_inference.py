@@ -1,0 +1,97 @@
+"""Tests for record-and-replay annotation inference."""
+
+import pytest
+
+from repro.analysis.inference import (
+    compare_annotations,
+    record_kernel_annotations,
+    replay_with_inferred_annotations,
+)
+from repro.cp.packets import AccessMode
+from repro.gpu.config import GPUConfig
+from repro.gpu.sim import Simulator
+from repro.memory.address import AddressSpace
+from repro.workloads.base import AccessKind, Kernel, KernelArg, PatternKind, Workload
+from repro.workloads.suite import build_workload
+
+from tests.conftest import TEST_SCALE
+
+CONFIG = GPUConfig(num_chiplets=4, scale=TEST_SCALE)
+
+
+@pytest.fixture
+def buf():
+    return AddressSpace().alloc("A", 64 * 4096)
+
+
+class TestRecord:
+    def test_modes_inferred_from_kinds(self, buf):
+        kernel = Kernel("k", args=(
+            KernelArg(buf, AccessMode.R),
+            KernelArg(buf, AccessMode.RW, kind=AccessKind.STORE),
+        ))
+        inferred = record_kernel_annotations(kernel, 0, 4)
+        assert inferred[0].mode is AccessMode.R
+        assert inferred[1].mode is AccessMode.RW
+
+    def test_partitioned_ranges_are_tight_slices(self, buf):
+        kernel = Kernel("k", args=(KernelArg(buf, AccessMode.R),))
+        inferred = record_kernel_annotations(kernel, 0, 4)
+        for logical in range(4):
+            lo, hi = inferred[0].range_for_logical_chiplet(logical, 4)
+            expect_lo, expect_hi = buf.byte_range_of_slice(logical, 4)
+            assert lo == expect_lo and hi == expect_hi
+
+    def test_inferred_ranges_cover_actual_accesses(self, buf):
+        """Safety: every accessed line falls inside the inferred range."""
+        from repro.workloads.base import lines_for_arg
+        arg = KernelArg(buf, AccessMode.R, pattern=PatternKind.RANDOM,
+                        fraction=0.3, seed=5)
+        kernel = Kernel("k", args=(arg,))
+        inferred = record_kernel_annotations(kernel, 7, 4)
+        for logical in range(4):
+            lo, hi = inferred[0].range_for_logical_chiplet(logical, 4)
+            for line in lines_for_arg(arg, logical, 4, 7):
+                assert lo <= line * 64 < hi
+
+    def test_stencil_halo_captured(self, buf):
+        arg = KernelArg(buf, AccessMode.R, pattern=PatternKind.STENCIL,
+                        halo_lines=4)
+        kernel = Kernel("k", args=(arg,))
+        inferred = record_kernel_annotations(kernel, 0, 4)
+        lo, hi = inferred[0].range_for_logical_chiplet(1, 4)
+        slice_lo, slice_hi = buf.byte_range_of_slice(1, 4)
+        assert lo < slice_lo and hi > slice_hi  # halo widened the range
+
+
+class TestReplay:
+    def test_replayed_workload_marks_annotations(self):
+        workload = build_workload("square", CONFIG)
+        replayed = replay_with_inferred_annotations(workload, CONFIG)
+        assert all(k.explicit_annotations is not None
+                   for k in replayed.kernels)
+        assert replayed.name.endswith("-inferred")
+
+    @pytest.mark.parametrize("name", ["square", "color", "hotspot3d"])
+    def test_cpelide_equivalent_under_inferred_hints(self, name):
+        hand = Simulator(CONFIG, "cpelide").run(build_workload(name, CONFIG))
+        replayed = replay_with_inferred_annotations(
+            build_workload(name, CONFIG), CONFIG)
+        inferred = Simulator(CONFIG, "cpelide").run(replayed)
+        assert inferred.wall_cycles == pytest.approx(hand.wall_cycles,
+                                                     rel=0.01)
+        assert inferred.metrics.total_sync().acquires_issued \
+            == hand.metrics.total_sync().acquires_issued
+
+
+class TestCompare:
+    def test_mode_accuracy_perfect_on_suite_sample(self):
+        stats = compare_annotations(build_workload("lud", CONFIG), CONFIG)
+        assert stats.mode_accuracy == 1.0
+        assert stats.kernels > 0
+
+    def test_hand_annotations_are_never_tighter(self):
+        """The recorder's exact ranges are at most as wide as the hand
+        hints (hand conservatism is non-negative)."""
+        stats = compare_annotations(build_workload("color", CONFIG), CONFIG)
+        assert stats.hand_overcoverage_bytes >= 0

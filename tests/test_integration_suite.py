@@ -1,0 +1,98 @@
+"""Cross-protocol invariants over real workload models (tiny scale)."""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.sim import Simulator
+from repro.workloads.suite import build_workload
+
+from tests.conftest import TEST_SCALE
+
+#: A diverse subset: streaming, stencil, graph, ML, low-reuse.
+SUBSET = ("square", "hotspot3d", "color", "rnn-gru-large", "pathfinder")
+PROTOCOLS = ("baseline", "cpelide", "hmg", "nosync")
+
+CONFIG = GPUConfig(num_chiplets=4, scale=TEST_SCALE)
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for name in SUBSET:
+        out[name] = {}
+        for protocol in PROTOCOLS:
+            out[name][protocol] = Simulator(CONFIG, protocol).run(
+                build_workload(name, CONFIG))
+    return out
+
+
+class TestCrossProtocolInvariants:
+    @pytest.mark.parametrize("name", SUBSET)
+    def test_all_protocols_complete(self, results, name):
+        for protocol in PROTOCOLS:
+            res = results[name][protocol]
+            assert res.wall_cycles > 0
+            assert res.metrics.total_accesses().l2_accesses > 0
+
+    @pytest.mark.parametrize("name", SUBSET)
+    def test_nosync_is_the_miss_rate_floor(self, results, name):
+        """Disabling all implicit sync upper-bounds everyone's reuse."""
+        floor = results[name]["nosync"].metrics.total_accesses().l2_miss_rate
+        for protocol in ("baseline", "cpelide"):
+            rate = results[name][protocol].metrics.total_accesses().l2_miss_rate
+            assert rate >= floor - 1e-9, (protocol, rate, floor)
+
+    @pytest.mark.parametrize("name", SUBSET)
+    def test_cpelide_never_issues_more_than_baseline(self, results, name):
+        base = results[name]["baseline"].metrics.total_sync()
+        cpe = results[name]["cpelide"].metrics.total_sync()
+        assert cpe.acquires_issued <= base.acquires_issued
+        assert cpe.releases_issued <= base.releases_issued
+
+    @pytest.mark.parametrize("name", SUBSET)
+    def test_cpelide_miss_rate_never_above_baseline(self, results, name):
+        base = results[name]["baseline"].metrics.total_accesses().l2_miss_rate
+        cpe = results[name]["cpelide"].metrics.total_accesses().l2_miss_rate
+        assert cpe <= base + 1e-9
+
+    @pytest.mark.parametrize("name", SUBSET)
+    def test_trace_is_protocol_independent(self, results, name):
+        """All protocols process the identical access stream: the L1-L2
+        flit component (demand-side) must match across protocols."""
+        values = {p: results[name][p].metrics.total_traffic().l1_l2
+                  for p in PROTOCOLS}
+        assert len(set(values.values())) == 1, values
+
+    @pytest.mark.parametrize("name", SUBSET)
+    def test_energy_components_positive_and_consistent(self, results, name):
+        for protocol in PROTOCOLS:
+            energy = results[name][protocol].energy
+            assert energy["total"] > 0
+            assert energy["total"] == pytest.approx(
+                sum(v for k, v in energy.items() if k != "total"))
+
+    @pytest.mark.parametrize("name", SUBSET)
+    def test_hmg_leaves_no_dirty_data_unflushed(self, results, name):
+        """Write-through HMG commits every store to memory: its finalize
+        pass must have nothing left to flush."""
+        final = results[name]["hmg"].metrics.kernels[-1]
+        if final.kernel_name == "__finalize__":
+            assert final.sync.lines_flushed == 0
+
+
+class TestChipletCountInvariants:
+    @pytest.mark.parametrize("chiplets", [2, 6, 7])
+    def test_protocols_run_at_other_chiplet_counts(self, chiplets):
+        config = GPUConfig(num_chiplets=chiplets, scale=TEST_SCALE)
+        for protocol in ("baseline", "cpelide", "hmg"):
+            res = Simulator(config, protocol).run(
+                build_workload("square", config))
+            assert res.wall_cycles > 0
+            assert res.num_chiplets == chiplets
+
+    def test_single_chiplet_degenerate_case(self):
+        """On one chiplet everything is local and CPElide still works."""
+        config = GPUConfig(num_chiplets=1, scale=TEST_SCALE)
+        res = Simulator(config, "cpelide").run(
+            build_workload("square", config))
+        assert res.metrics.total_traffic().remote == 0

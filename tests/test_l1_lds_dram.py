@@ -1,0 +1,94 @@
+"""Unit tests for the L1 filter, LDS, and DRAM models."""
+
+import pytest
+
+from repro.memory.dram import DRAMModel
+from repro.memory.l1 import L1Filter
+from repro.memory.lds import LocalDataShare
+
+
+class TestL1Filter:
+    def test_single_touch_all_forwarded(self):
+        res = L1Filter(0.9).filter(distinct_lines=100, touches_per_line=1.0)
+        assert res.l1_accesses == 100
+        assert res.l1_hits == 0
+        assert res.l2_distinct == 100
+        assert res.l2_repeats == 0
+
+    def test_repeats_mostly_absorbed(self):
+        res = L1Filter(0.9).filter(distinct_lines=100, touches_per_line=3.0)
+        assert res.l1_accesses == 300
+        assert res.l1_hits == 180          # 200 repeats * 0.9
+        assert res.l2_repeats == 20
+
+    def test_zero_hit_rate_forwards_everything(self):
+        res = L1Filter(0.0).filter(100, 2.0)
+        assert res.l1_hits == 0
+        assert res.l2_repeats == 100
+
+    def test_perfect_hit_rate(self):
+        res = L1Filter(1.0).filter(50, 4.0)
+        assert res.l1_hits == 150
+        assert res.l2_repeats == 0
+
+    def test_accounting_identity(self):
+        res = L1Filter(0.7).filter(64, 2.5)
+        assert res.l1_accesses == res.l2_distinct + res.l1_hits + res.l2_repeats
+
+    def test_zero_lines(self):
+        res = L1Filter(0.9).filter(0, 2.0)
+        assert res.l1_accesses == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            L1Filter(1.5)
+        with pytest.raises(ValueError):
+            L1Filter(0.9).filter(-1, 1.0)
+        with pytest.raises(ValueError):
+            L1Filter(0.9).filter(10, 0.5)
+
+
+class TestLDS:
+    def test_record_accumulates(self):
+        lds = LocalDataShare()
+        lds.record(100)
+        lds.record(50)
+        assert lds.accesses == 150
+
+    def test_reset(self):
+        lds = LocalDataShare()
+        lds.record(10)
+        lds.reset()
+        assert lds.accesses == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LocalDataShare().record(-1)
+
+    def test_table1_defaults(self):
+        lds = LocalDataShare()
+        assert lds.size_bytes == 64 * 1024
+        assert lds.latency_cycles == 65
+
+
+class TestDRAM:
+    def test_per_stack_accounting(self):
+        dram = DRAMModel(num_stacks=4)
+        dram.record_read(0, 5)
+        dram.record_write(3, 2)
+        assert dram.reads == [5, 0, 0, 0]
+        assert dram.writes == [0, 0, 0, 2]
+        assert dram.total_reads == 5
+        assert dram.total_writes == 2
+        assert dram.total_accesses == 7
+
+    def test_reset(self):
+        dram = DRAMModel(num_stacks=2)
+        dram.record_read(1)
+        dram.reset()
+        assert dram.total_accesses == 0
+        assert len(dram.reads) == 2
+
+    def test_invalid_stacks(self):
+        with pytest.raises(ValueError):
+            DRAMModel(num_stacks=0)

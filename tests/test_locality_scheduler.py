@@ -1,0 +1,68 @@
+"""Unit tests for the locality-aware WG scheduler."""
+
+import pytest
+
+from repro.cp.locality_scheduler import LocalityAwareWGScheduler
+from repro.cp.packets import AccessMode, ArgAccess, KernelPacket
+from repro.memory.address import AddressSpace
+
+
+@pytest.fixture
+def buf():
+    return AddressSpace().alloc("data", 16 * 4096)
+
+
+def packet(kid, buf, num_wgs=16, mask=None):
+    return KernelPacket(kernel_id=kid, name=f"k{kid}", stream_id=0,
+                        num_wgs=num_wgs,
+                        args=(ArgAccess(buf, AccessMode.RW),),
+                        chiplet_mask=mask)
+
+
+class TestLocalitySteering:
+    def test_full_width_kernels_unchanged(self, buf):
+        sched = LocalityAwareWGScheduler(4)
+        placement = sched.place(packet(0, buf, num_wgs=16))
+        assert placement.chiplets == (0, 1, 2, 3)
+
+    def test_narrow_kernel_steered_to_producer(self, buf):
+        sched = LocalityAwareWGScheduler(4)
+        # Producer restricted to chiplets {2, 3}.
+        sched.place(packet(0, buf, num_wgs=16, mask=(2, 3)))
+        # Narrow consumer: the default scheduler would pick chiplet 0;
+        # the locality-aware one steers to a producer chiplet.
+        placement = sched.place(packet(1, buf, num_wgs=1))
+        assert placement.chiplets[0] in (2, 3)
+
+    def test_cold_buffer_falls_back_to_default(self, buf):
+        sched = LocalityAwareWGScheduler(4)
+        placement = sched.place(packet(0, buf, num_wgs=1))
+        assert placement.chiplets == (0,)
+
+    def test_masked_kernels_never_steered(self, buf):
+        sched = LocalityAwareWGScheduler(4)
+        sched.place(packet(0, buf, num_wgs=16, mask=(2, 3)))
+        placement = sched.place(packet(1, buf, num_wgs=4, mask=(0,)))
+        assert placement.chiplets == (0,)
+
+    def test_affinity_updates_with_latest_placement(self, buf):
+        sched = LocalityAwareWGScheduler(4)
+        sched.place(packet(0, buf, num_wgs=16, mask=(2, 3)))
+        sched.place(packet(1, buf, num_wgs=16, mask=(0, 1)))
+        placement = sched.place(packet(2, buf, num_wgs=1))
+        assert placement.chiplets[0] in (0, 1)
+
+    def test_wg_counts_preserved_when_steering(self, buf):
+        sched = LocalityAwareWGScheduler(4)
+        sched.place(packet(0, buf, num_wgs=16, mask=(3,)))
+        placement = sched.place(packet(1, buf, num_wgs=2))
+        assert placement.total_wgs == 2
+
+
+class TestSimulatorIntegration:
+    def test_scheduler_selection_validated(self):
+        from repro.gpu.config import GPUConfig
+        from repro.gpu.sim import Simulator
+        with pytest.raises(ValueError):
+            Simulator(GPUConfig(num_chiplets=2, scale=1 / 64),
+                      scheduler="random")

@@ -1,0 +1,101 @@
+"""Unit tests for metrics containers and report helpers."""
+
+import pytest
+
+from repro.interconnect.noc import TrafficMeter
+from repro.metrics.report import format_table, geomean, normalize, speedup
+from repro.metrics.stats import AccessCounts, KernelMetrics, RunMetrics, SyncCounts
+
+
+class TestAccessCounts:
+    def test_merge(self):
+        a = AccessCounts(l2_local_hits=3, dram_reads=1)
+        b = AccessCounts(l2_local_hits=2, l3_hits=5)
+        a.merge(b)
+        assert a.l2_local_hits == 5
+        assert a.l3_hits == 5
+        assert a.dram_reads == 1
+
+    def test_l2_aggregates(self):
+        counts = AccessCounts(l2_local_hits=6, l2_remote_hits=2,
+                              l2_local_misses=1, l2_remote_misses=1)
+        assert counts.l2_accesses == 10
+        assert counts.l2_hits == 8
+        assert counts.l2_misses == 2
+        assert counts.l2_miss_rate == pytest.approx(0.2)
+
+    def test_miss_rate_empty(self):
+        assert AccessCounts().l2_miss_rate == 0.0
+
+    def test_dram_accesses(self):
+        counts = AccessCounts(dram_reads=3, dram_writes=4)
+        assert counts.dram_accesses == 7
+
+
+class TestSyncCounts:
+    def test_merge(self):
+        a = SyncCounts(acquires_issued=1, lines_flushed=10)
+        b = SyncCounts(acquires_issued=2, dir_evictions=3)
+        a.merge(b)
+        assert a.acquires_issued == 3
+        assert a.lines_flushed == 10
+        assert a.dir_evictions == 3
+
+
+class TestRunMetrics:
+    def _run(self):
+        run = RunMetrics(workload="w", protocol="p", num_chiplets=4)
+        for i in range(3):
+            km = KernelMetrics(kernel_name=f"k{i}", kernel_index=i,
+                               cycles=100.0 * (i + 1), sync_cycles=10.0)
+            km.accesses.l2_local_hits = 10
+            km.traffic.l2_data(2)
+            km.sync.releases_elided = 4
+            run.add_kernel(km)
+        return run
+
+    def test_totals(self):
+        run = self._run()
+        assert run.total_cycles == 600.0
+        assert run.total_sync_cycles == 30.0
+        assert run.num_kernels == 3
+        assert run.total_accesses().l2_local_hits == 30
+        assert run.total_sync().releases_elided == 12
+        assert run.total_traffic().l2_l3 == 18
+
+    def test_summary_keys(self):
+        summary = self._run().summary()
+        for key in ("cycles", "sync_cycles", "l2_miss_rate",
+                    "traffic_flits", "releases_elided"):
+            assert key in summary
+
+
+class TestReportHelpers:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([5.0]) == pytest.approx(5.0)
+        assert geomean([]) == 0.0
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_speedup(self):
+        assert speedup(200.0, 100.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            speedup(100.0, 0.0)
+
+    def test_normalize(self):
+        out = normalize({"baseline": 4.0, "cpelide": 2.0}, "baseline")
+        assert out == {"baseline": 1.0, "cpelide": 0.5}
+        with pytest.raises(ValueError):
+            normalize({"baseline": 0.0}, "baseline")
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"],
+                             [["a", 1.5], ["longer", 2.25]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert all("|" in line for line in lines[1:] if "-+-" not in line)
+        assert "1.500" in table

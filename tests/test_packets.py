@@ -1,0 +1,84 @@
+"""Unit tests for kernel packets and access annotations."""
+
+import pytest
+
+from repro.cp.packets import AccessMode, ArgAccess, KernelPacket, RangeAnnotation
+from repro.memory.address import Buffer
+
+BUF = Buffer("A", 4096, 4096 * 4, 0)
+
+
+class TestAccessMode:
+    def test_writes_flag(self):
+        assert not AccessMode.R.writes
+        assert AccessMode.RW.writes
+
+    def test_values_match_listing1(self):
+        assert AccessMode.R.value == "R"
+        assert AccessMode.RW.value == "R/W"
+
+
+class TestRangeAnnotation:
+    def test_valid(self):
+        r = RangeAnnotation(0, 100, 0)
+        assert r.start == 0 and r.end == 100
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            RangeAnnotation(100, 100, 0)
+        with pytest.raises(ValueError):
+            RangeAnnotation(200, 100, 0)
+
+    def test_negative_chiplet_rejected(self):
+        with pytest.raises(ValueError):
+            RangeAnnotation(0, 100, -1)
+
+
+class TestArgAccess:
+    def test_default_even_split(self):
+        """Without Listing-2 ranges, the annotation falls back to the even
+        contiguous split implied by static kernel-wide partitioning."""
+        arg = ArgAccess(BUF, AccessMode.R)
+        lo0, hi0 = arg.range_for_logical_chiplet(0, 4)
+        lo3, hi3 = arg.range_for_logical_chiplet(3, 4)
+        assert lo0 == BUF.base
+        assert hi3 == BUF.end
+        assert hi0 - lo0 == (BUF.size // 4)
+
+    def test_explicit_ranges_listing2(self):
+        mid = BUF.base + BUF.size // 2
+        arg = ArgAccess(BUF, AccessMode.RW, ranges=(
+            RangeAnnotation(BUF.base, mid, 0),
+            RangeAnnotation(mid, BUF.end, 1),
+        ))
+        assert arg.range_for_logical_chiplet(0, 2) == (BUF.base, mid)
+        assert arg.range_for_logical_chiplet(1, 2) == (mid, BUF.end)
+
+    def test_chiplet_without_range_is_empty(self):
+        arg = ArgAccess(BUF, AccessMode.R, ranges=(
+            RangeAnnotation(BUF.base, BUF.end, 0),))
+        lo, hi = arg.range_for_logical_chiplet(1, 2)
+        assert lo == hi
+
+    def test_multiple_ranges_same_chiplet_merged(self):
+        arg = ArgAccess(BUF, AccessMode.R, ranges=(
+            RangeAnnotation(BUF.base, BUF.base + 64, 0),
+            RangeAnnotation(BUF.end - 64, BUF.end, 0),
+        ))
+        assert arg.range_for_logical_chiplet(0, 1) == (BUF.base, BUF.end)
+
+
+class TestKernelPacket:
+    def test_written_and_read_only_buffers(self):
+        other = Buffer("B", BUF.end, 4096, 1)
+        packet = KernelPacket(
+            kernel_id=0, name="k", stream_id=0, num_wgs=8,
+            args=(ArgAccess(BUF, AccessMode.R),
+                  ArgAccess(other, AccessMode.RW)))
+        assert list(packet.written_buffers()) == [other]
+        assert list(packet.read_only_buffers()) == [BUF]
+
+    def test_zero_wgs_rejected(self):
+        with pytest.raises(ValueError):
+            KernelPacket(kernel_id=0, name="k", stream_id=0, num_wgs=0,
+                         args=())

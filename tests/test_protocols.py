@@ -1,0 +1,153 @@
+"""Unit tests for the Baseline/NoSync/Monolithic protocols and registry."""
+
+import pytest
+
+from repro.coherence.base import make_protocol
+from repro.coherence.viper import BaselineProtocol, MonolithicProtocol, NoSyncProtocol
+from repro.cp.local_cp import SyncOpKind
+from repro.cp.packets import AccessMode, ArgAccess, KernelPacket
+from repro.cp.wg_scheduler import Placement
+from repro.gpu.config import GPUConfig, monolithic_equivalent
+from repro.gpu.device import Device
+
+from tests.conftest import TEST_SCALE
+
+
+@pytest.fixture
+def setup():
+    config = GPUConfig(num_chiplets=4, scale=TEST_SCALE)
+    device = Device(config)
+    return config, device
+
+
+def packet():
+    return KernelPacket(kernel_id=0, name="k", stream_id=0, num_wgs=8,
+                        args=())
+
+
+def full_placement():
+    return Placement(chiplets=(0, 1, 2, 3), wg_counts=(2, 2, 2, 2))
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["baseline", "cpelide", "cpelide-range",
+                                      "hmg", "hmg-wb", "nosync"])
+    def test_known_protocols(self, setup, name):
+        config, device = setup
+        protocol = make_protocol(name, config, device)
+        assert protocol.name == name
+
+    def test_unknown_protocol_rejected(self, setup):
+        config, device = setup
+        with pytest.raises(ValueError, match="unknown protocol"):
+            make_protocol("mesif", config, device)
+
+
+class TestBaselineBoundaries:
+    def test_acquires_every_chiplet_at_launch(self, setup):
+        config, device = setup
+        protocol = BaselineProtocol(config, device)
+        ops = protocol.on_kernel_launch(packet(), full_placement())
+        assert len(ops) == 4
+        assert all(op.kind is SyncOpKind.ACQUIRE for op in ops)
+        assert {op.chiplet for op in ops} == {0, 1, 2, 3}
+
+    def test_releases_every_chiplet_at_completion(self, setup):
+        config, device = setup
+        protocol = BaselineProtocol(config, device)
+        ops = protocol.on_kernel_complete(packet(), full_placement())
+        assert all(op.kind is SyncOpKind.RELEASE for op in ops)
+        assert len(ops) == 4
+
+    def test_run_end_releases_all(self, setup):
+        config, device = setup
+        protocol = BaselineProtocol(config, device)
+        ops = protocol.on_run_end()
+        assert len(ops) == 4
+
+
+class TestNoSync:
+    def test_no_boundary_ops(self, setup):
+        config, device = setup
+        protocol = NoSyncProtocol(config, device)
+        assert protocol.on_kernel_launch(packet(), full_placement()) == []
+        assert protocol.on_kernel_complete(packet(), full_placement()) == []
+
+
+class TestMonolithic:
+    def test_requires_single_chiplet(self, setup):
+        config, device = setup
+        with pytest.raises(ValueError):
+            MonolithicProtocol(config, device)
+
+    def test_no_l2_sync(self):
+        config = monolithic_equivalent(GPUConfig(num_chiplets=4,
+                                                 scale=TEST_SCALE))
+        device = Device(config)
+        protocol = MonolithicProtocol(config, device)
+        assert protocol.on_kernel_launch(packet(),
+                                         Placement((0,), (8,))) == []
+        assert protocol.on_kernel_complete(packet(),
+                                           Placement((0,), (8,))) == []
+
+
+class TestBaselineAccessPath:
+    def test_local_access_allocates_locally(self, setup):
+        config, device = setup
+        protocol = BaselineProtocol(config, device)
+        protocol.access(chiplet=1, line=100, is_write=False)
+        assert device.l2s[1].lookup(100)
+        assert device.counts[1].l2_local_misses == 1
+        assert device.counts[1].l3_misses == 1          # cold
+        assert device.counts[1].dram_reads == 1
+
+    def test_local_hit_after_miss(self, setup):
+        config, device = setup
+        protocol = BaselineProtocol(config, device)
+        protocol.access(1, 100, False)
+        protocol.access(1, 100, False)
+        assert device.counts[1].l2_local_hits == 1
+
+    def test_local_store_dirties(self, setup):
+        config, device = setup
+        protocol = BaselineProtocol(config, device)
+        protocol.access(2, 200, True)
+        assert device.l2s[2].is_dirty(200)
+
+    def test_remote_read_forwarded_not_cached_locally(self, setup):
+        config, device = setup
+        protocol = BaselineProtocol(config, device)
+        protocol.access(0, 300, False)      # first touch -> home 0
+        device.begin_kernel()
+        protocol.access(3, 300, False)      # remote read by 3
+        assert not device.l2s[3].lookup(300)
+        assert device.counts[3].l2_remote_hits == 1
+        assert device.traffic.remote > 0
+
+    def test_remote_store_writes_through_and_invalidates_home(self, setup):
+        config, device = setup
+        protocol = BaselineProtocol(config, device)
+        protocol.access(0, 300, False)      # home 0, clean copy resident
+        protocol.access(2, 300, True)       # remote store by 2
+        assert not device.l2s[0].lookup(300)
+        assert not device.l2s[2].lookup(300)
+        assert device.counts[2].l2_writethroughs == 1
+        assert device.l3.lookup(300)
+
+    def test_remote_read_after_remote_write_sees_l3(self, setup):
+        config, device = setup
+        protocol = BaselineProtocol(config, device)
+        protocol.access(0, 300, False)
+        protocol.access(2, 300, True)
+        device.begin_kernel()
+        protocol.access(3, 300, False)
+        # Home L2 was invalidated; the read falls through to the L3.
+        assert device.counts[3].l2_remote_misses == 1
+        assert device.counts[3].l3_hits == 1
+
+    def test_traffic_accounted_per_access(self, setup):
+        config, device = setup
+        protocol = BaselineProtocol(config, device)
+        protocol.access(0, 1, False)
+        assert device.traffic.l1_l2 > 0
+        assert device.traffic.l2_l3 > 0   # refill from L3

@@ -1,0 +1,77 @@
+"""Unit tests for streams, hardware queues, and the queue scheduler."""
+
+import pytest
+
+from repro.cp.packets import KernelPacket
+from repro.cp.queues import HardwareQueue, QueueScheduler, Stream
+
+
+def packet(kid, stream=0):
+    return KernelPacket(kernel_id=kid, name=f"k{kid}", stream_id=stream,
+                        num_wgs=4, args=())
+
+
+class TestHardwareQueue:
+    def test_fifo_order(self):
+        q = HardwareQueue(0, stream_id=0)
+        q.enqueue(packet(0))
+        q.enqueue(packet(1))
+        assert q.head().kernel_id == 0
+        assert q.pop().kernel_id == 0
+        assert q.pop().kernel_id == 1
+        assert q.head() is None
+
+    def test_wrong_stream_rejected(self):
+        q = HardwareQueue(0, stream_id=0)
+        with pytest.raises(ValueError):
+            q.enqueue(packet(0, stream=1))
+
+
+class TestQueueScheduler:
+    def test_one_queue_per_stream(self):
+        sched = QueueScheduler()
+        q0 = sched.queue_for_stream(0)
+        q1 = sched.queue_for_stream(1)
+        assert q0 is not q1
+        assert sched.queue_for_stream(0) is q0
+
+    def test_intra_stream_order_preserved(self):
+        sched = QueueScheduler()
+        for i in range(3):
+            sched.submit(packet(i))
+        assert [sched.next_kernel().kernel_id for _ in range(3)] == [0, 1, 2]
+        assert sched.next_kernel() is None
+
+    def test_round_robin_across_streams(self):
+        sched = QueueScheduler()
+        sched.submit(packet(0, stream=0))
+        sched.submit(packet(1, stream=0))
+        sched.submit(packet(2, stream=1))
+        order = [sched.next_kernel().kernel_id for _ in range(3)]
+        # One kernel from each stream before the second from stream 0.
+        assert order[0] in (0, 2)
+        assert set(order) == {0, 1, 2}
+        assert order.index(0) < order.index(1)
+
+    def test_pending_count(self):
+        sched = QueueScheduler()
+        sched.submit(packet(0))
+        sched.submit(packet(1, stream=1))
+        assert sched.pending == 2
+        sched.next_kernel()
+        assert sched.pending == 1
+
+    def test_queue_exhaustion(self):
+        sched = QueueScheduler(num_queues=1)
+        sched.queue_for_stream(0)
+        with pytest.raises(RuntimeError):
+            sched.queue_for_stream(1)
+
+    def test_invalid_num_queues(self):
+        with pytest.raises(ValueError):
+            QueueScheduler(num_queues=0)
+
+
+class TestStream:
+    def test_mask_default_none(self):
+        assert Stream(0).chiplet_mask is None

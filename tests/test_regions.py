@@ -1,0 +1,90 @@
+"""Unit tests for access regions and range algebra."""
+
+import pytest
+
+from repro.core.regions import (
+    AccessRegion,
+    intersect_ranges,
+    merge_ranges,
+    ranges_overlap,
+    region_from_arg,
+)
+from repro.cp.packets import AccessMode, ArgAccess, RangeAnnotation
+from repro.cp.wg_scheduler import Placement
+from repro.memory.address import Buffer
+
+BUF = Buffer("A", 4096, 16384, 0)
+
+
+class TestRangeAlgebra:
+    def test_overlap(self):
+        assert ranges_overlap((0, 10), (5, 15))
+        assert ranges_overlap((0, 10), (9, 10))
+        assert not ranges_overlap((0, 10), (10, 20))
+        assert not ranges_overlap((10, 20), (0, 10))
+        assert not ranges_overlap(None, (0, 10))
+        assert not ranges_overlap((0, 10), None)
+
+    def test_merge(self):
+        assert merge_ranges((0, 10), (20, 30)) == (0, 30)
+        assert merge_ranges(None, (1, 2)) == (1, 2)
+        assert merge_ranges((1, 2), None) == (1, 2)
+        assert merge_ranges(None, None) is None
+
+    def test_intersect(self):
+        assert intersect_ranges((0, 10), (5, 15)) == (5, 10)
+        assert intersect_ranges((0, 10), (10, 20)) is None
+        assert intersect_ranges(None, (0, 1)) is None
+        assert intersect_ranges((0, 5), (0, 5)) == (0, 5)
+
+
+class TestAccessRegion:
+    def test_empty_extent_rejected(self):
+        with pytest.raises(ValueError):
+            AccessRegion("x", 100, 100, AccessMode.R)
+
+    def test_gap_to(self):
+        a = AccessRegion("a", 0, 100, AccessMode.R)
+        b = AccessRegion("b", 150, 250, AccessMode.R)
+        c = AccessRegion("c", 50, 120, AccessMode.R)
+        assert a.gap_to(b) == 50
+        assert b.gap_to(a) == 50
+        assert a.gap_to(c) == 0  # overlapping
+
+    def test_overlaps_extent(self):
+        a = AccessRegion("a", 0, 100, AccessMode.R)
+        b = AccessRegion("b", 99, 200, AccessMode.R)
+        c = AccessRegion("c", 100, 200, AccessMode.R)
+        assert a.overlaps_extent(b)
+        assert not a.overlaps_extent(c)
+
+
+class TestRegionFromArg:
+    def test_even_split(self):
+        placement = Placement(chiplets=(0, 1), wg_counts=(4, 4))
+        region = region_from_arg(ArgAccess(BUF, AccessMode.RW), placement)
+        assert region.mode is AccessMode.RW
+        assert set(region.chiplet_ranges) == {0, 1}
+        lo0, hi0 = region.chiplet_ranges[0]
+        lo1, hi1 = region.chiplet_ranges[1]
+        assert lo0 == BUF.base and hi1 == BUF.end
+        assert hi0 == lo1
+
+    def test_logical_to_physical_mapping(self):
+        """Logical chiplet i maps to placement.chiplets[i]."""
+        placement = Placement(chiplets=(3, 1), wg_counts=(4, 4))
+        mid = BUF.base + BUF.size // 2
+        arg = ArgAccess(BUF, AccessMode.R, ranges=(
+            RangeAnnotation(BUF.base, mid, 0),
+            RangeAnnotation(mid, BUF.end, 1)))
+        region = region_from_arg(arg, placement)
+        assert region.chiplet_ranges[3] == (BUF.base, mid)
+        assert region.chiplet_ranges[1] == (mid, BUF.end)
+
+    def test_chiplet_with_empty_range_excluded(self):
+        placement = Placement(chiplets=(0, 1), wg_counts=(4, 4))
+        arg = ArgAccess(BUF, AccessMode.R, ranges=(
+            RangeAnnotation(BUF.base, BUF.end, 0),))
+        region = region_from_arg(arg, placement)
+        assert 1 not in region.chiplet_ranges
+        assert region.chiplet_ranges[0] == (BUF.base, BUF.end)

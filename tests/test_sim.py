@@ -1,0 +1,141 @@
+"""Integration tests: the full simulator over small workloads."""
+
+import pytest
+
+from repro.cp.packets import AccessMode
+from repro.gpu.config import GPUConfig
+from repro.gpu.sim import Simulator
+from repro.memory.address import AddressSpace
+from repro.workloads.base import AccessKind, Kernel, KernelArg, PatternKind, Workload
+from repro.workloads.suite import build_workload
+
+from tests.conftest import TEST_SCALE
+
+CONFIG = GPUConfig(num_chiplets=4, scale=TEST_SCALE)
+
+
+def iterative_workload(iterations=6):
+    """in -> out elementwise kernel relaunched (square-like)."""
+    space = AddressSpace()
+    a = space.alloc("A", 32 * 4096)
+    c = space.alloc("C", 32 * 4096)
+    kernels = [
+        Kernel("square", args=(
+            KernelArg(a, AccessMode.R),
+            KernelArg(c, AccessMode.RW, kind=AccessKind.STORE),
+        ), compute_intensity=1.0)
+        for _ in range(iterations)
+    ]
+    return Workload(name="square-mini", space=space, kernels=kernels)
+
+
+class TestBasicRuns:
+    @pytest.mark.parametrize("protocol", ["baseline", "cpelide", "hmg",
+                                          "hmg-wb", "nosync"])
+    def test_runs_and_produces_metrics(self, protocol):
+        result = Simulator(CONFIG, protocol).run(iterative_workload())
+        assert result.wall_cycles > 0
+        assert result.metrics.num_kernels >= 6
+        assert result.energy["total"] > 0
+        acc = result.metrics.total_accesses()
+        assert acc.l2_accesses > 0
+
+    def test_unknown_protocol_raises(self):
+        with pytest.raises(ValueError):
+            Simulator(CONFIG, "bogus").run(iterative_workload())
+
+    def test_protocol_factory_callable(self):
+        from repro.coherence.viper import BaselineProtocol
+        result = Simulator(CONFIG, BaselineProtocol).run(iterative_workload())
+        assert result.protocol == "baseline"
+
+
+class TestDeterminism:
+    def test_same_run_same_numbers(self):
+        a = Simulator(CONFIG, "cpelide").run(build_workload("bfs", CONFIG))
+        b = Simulator(CONFIG, "cpelide").run(build_workload("bfs", CONFIG))
+        assert a.wall_cycles == b.wall_cycles
+        assert a.metrics.total_traffic().total \
+            == b.metrics.total_traffic().total
+
+
+class TestPaperInvariants:
+    def test_cpelide_beats_baseline_on_iterative_reuse(self):
+        base = Simulator(CONFIG, "baseline").run(iterative_workload(10))
+        cpe = Simulator(CONFIG, "cpelide").run(iterative_workload(10))
+        assert cpe.wall_cycles < base.wall_cycles
+
+    def test_cpelide_elides_on_iterative_reuse(self):
+        cpe = Simulator(CONFIG, "cpelide").run(iterative_workload(10))
+        sync = cpe.metrics.total_sync()
+        assert sync.releases_elided > 0
+        assert sync.acquires_elided > 0
+        # Steady state issues nothing.
+        assert sync.acquires_issued == 0
+
+    def test_baseline_issues_everything(self):
+        base = Simulator(CONFIG, "baseline").run(iterative_workload(10))
+        sync = base.metrics.total_sync()
+        # 4 acquires + 4 releases per kernel, plus the final release.
+        assert sync.acquires_issued == 4 * 10
+        assert sync.releases_issued >= 4 * 10
+
+    def test_cpelide_reduces_traffic(self):
+        base = Simulator(CONFIG, "baseline").run(iterative_workload(10))
+        cpe = Simulator(CONFIG, "cpelide").run(iterative_workload(10))
+        assert cpe.metrics.total_traffic().total \
+            < base.metrics.total_traffic().total
+
+    def test_hmg_writes_through_to_dram(self):
+        hmg = Simulator(CONFIG, "hmg").run(iterative_workload(10))
+        cpe = Simulator(CONFIG, "cpelide").run(iterative_workload(10))
+        assert hmg.metrics.total_accesses().dram_writes \
+            > cpe.metrics.total_accesses().dram_writes
+
+    def test_nosync_upper_bounds_cpelide_miss_rate(self):
+        nosync = Simulator(CONFIG, "nosync").run(iterative_workload(10))
+        base = Simulator(CONFIG, "baseline").run(iterative_workload(10))
+        assert nosync.metrics.total_accesses().l2_miss_rate \
+            <= base.metrics.total_accesses().l2_miss_rate
+
+    def test_finalize_flushes_dirty_data(self):
+        cpe = Simulator(CONFIG, "cpelide").run(iterative_workload(4))
+        final = cpe.metrics.kernels[-1]
+        assert final.kernel_name == "__finalize__"
+        assert final.sync.lines_flushed > 0
+
+
+class TestMultiStream:
+    def _two_stream_workload(self):
+        space = AddressSpace()
+        kernels = []
+        for stream, mask in ((0, (0, 1)), (1, (2, 3))):
+            buf = space.alloc(f"s{stream}", 16 * 4096)
+            for _ in range(4):
+                kernels.append(Kernel(
+                    f"work{stream}", args=(KernelArg(buf, AccessMode.RW),),
+                    stream_id=stream, chiplet_mask=mask))
+        return Workload(name="ms", space=space, kernels=kernels)
+
+    def test_streams_overlap_in_time(self):
+        result = Simulator(CONFIG, "cpelide").run(self._two_stream_workload())
+        serial = result.metrics.total_cycles
+        assert result.wall_cycles < serial
+
+    def test_stream_masks_respected(self):
+        result = Simulator(CONFIG, "baseline").run(self._two_stream_workload())
+        for km in result.metrics.kernels:
+            if km.kernel_name.startswith("work"):
+                assert km.chiplets_used == 2
+
+
+class TestL1Model:
+    def test_touches_generate_l1_hits(self):
+        space = AddressSpace()
+        buf = space.alloc("A", 16 * 4096)
+        workload = Workload(name="t", space=space, kernels=[
+            Kernel("k", args=(KernelArg(buf, AccessMode.R, touches=3.0),))])
+        result = Simulator(CONFIG, "baseline").run(workload)
+        acc = result.metrics.total_accesses()
+        assert acc.l1_hits > 0
+        assert acc.l1_accesses > acc.l2_accesses

@@ -1,0 +1,75 @@
+"""Unit tests for the CPElide state machine (Fig. 6)."""
+
+import pytest
+
+from repro.core.states import ChipletState, is_legal_transition, merge_conservative
+
+
+class TestEncodings:
+    def test_two_bit_encodings_match_paper(self):
+        assert ChipletState.NOT_PRESENT == 0b00
+        assert ChipletState.VALID == 0b01
+        assert ChipletState.DIRTY == 0b10
+        assert ChipletState.STALE == 0b11
+
+    def test_all_states_fit_two_bits(self):
+        for state in ChipletState:
+            assert 0 <= state <= 3
+
+
+class TestTransitions:
+    def test_self_loops_always_legal(self):
+        for state in ChipletState:
+            assert is_legal_transition(state, state)
+
+    def test_access_transitions(self):
+        assert is_legal_transition(ChipletState.NOT_PRESENT, ChipletState.VALID)
+        assert is_legal_transition(ChipletState.NOT_PRESENT, ChipletState.DIRTY)
+        assert is_legal_transition(ChipletState.VALID, ChipletState.DIRTY)
+
+    def test_remote_write_makes_stale(self):
+        assert is_legal_transition(ChipletState.VALID, ChipletState.STALE)
+        assert is_legal_transition(ChipletState.DIRTY, ChipletState.STALE)
+
+    def test_release_cleans(self):
+        assert is_legal_transition(ChipletState.DIRTY, ChipletState.VALID)
+
+    def test_acquire_drops(self):
+        for state in (ChipletState.VALID, ChipletState.DIRTY,
+                      ChipletState.STALE):
+            assert is_legal_transition(state, ChipletState.NOT_PRESENT)
+
+    def test_illegal_transitions(self):
+        # Clean data cannot silently become dirty-at-another-state etc.
+        assert not is_legal_transition(ChipletState.NOT_PRESENT,
+                                       ChipletState.STALE)
+        assert not is_legal_transition(ChipletState.VALID,
+                                       ChipletState.VALID) is False  # legal
+        # A stale copy cannot be cleaned by a release (flush writes the
+        # *holder's* data; a stale holder needs an acquire).
+        assert is_legal_transition(ChipletState.STALE, ChipletState.VALID)
+
+
+class TestConservativeMerge:
+    def test_dirty_dominates_everything(self):
+        for other in ChipletState:
+            assert merge_conservative(ChipletState.DIRTY, other) \
+                == ChipletState.DIRTY
+
+    def test_stale_dominates_valid(self):
+        assert merge_conservative(ChipletState.STALE, ChipletState.VALID) \
+            == ChipletState.STALE
+
+    def test_valid_dominates_not_present(self):
+        assert merge_conservative(ChipletState.VALID,
+                                  ChipletState.NOT_PRESENT) \
+            == ChipletState.VALID
+
+    def test_commutative(self):
+        for a in ChipletState:
+            for b in ChipletState:
+                assert merge_conservative(a, b) == merge_conservative(b, a)
+
+    def test_idempotent(self):
+        for state in ChipletState:
+            assert merge_conservative(state, state) == state

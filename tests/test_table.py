@@ -1,0 +1,143 @@
+"""Unit tests for the Chiplet Coherence Table."""
+
+import pytest
+
+from repro.core.regions import AccessRegion
+from repro.core.states import ChipletState
+from repro.core.table import ChipletCoherenceTable, TableEntry
+from repro.cp.packets import AccessMode
+
+
+def region(name, base, end, mode=AccessMode.R, chiplet_ranges=None):
+    return AccessRegion(name=name, base=base, end=end, mode=mode,
+                        chiplet_ranges=dict(chiplet_ranges or {}))
+
+
+def make_table(num_chiplets=4, structs=8, window=8):
+    return ChipletCoherenceTable(num_chiplets=num_chiplets,
+                                 structs_per_kernel=structs,
+                                 kernel_window=window)
+
+
+class TestSizing:
+    def test_capacity_is_8x8(self):
+        """Sec. III-A: 8 structures x 8 kernels = 64 entries."""
+        assert make_table().capacity == 64
+
+    def test_storage_about_2kb(self):
+        """Sec. III-A: ~2 KB total for a 4-chiplet system."""
+        size = make_table(num_chiplets=4).storage_bytes()
+        assert 1.5 * 1024 <= size <= 3 * 1024
+
+    def test_storage_grows_with_chiplets(self):
+        assert make_table(num_chiplets=8).storage_bytes() \
+            > make_table(num_chiplets=2).storage_bytes()
+
+
+class TestGetOrCreate:
+    def test_creates_blank_entry(self):
+        table = make_table()
+        entry, evicted = table.get_or_create(region("a", 0, 100))
+        assert evicted is None
+        assert entry.is_empty()
+        assert len(table) == 1
+
+    def test_reuses_overlapping_entry(self):
+        table = make_table()
+        first, _ = table.get_or_create(region("a", 0, 100))
+        second, _ = table.get_or_create(region("a", 50, 150))
+        assert first is second
+        assert second.base == 0 and second.end == 150
+        assert len(table) == 1
+
+    def test_merges_multiple_overlapping_entries(self):
+        table = make_table()
+        a, _ = table.get_or_create(region("a", 0, 100))
+        b, _ = table.get_or_create(region("b", 200, 300))
+        a.states[0] = ChipletState.VALID
+        b.states[1] = ChipletState.DIRTY
+        merged, _ = table.get_or_create(region("c", 50, 250))
+        assert len(table) == 1
+        assert merged.states[0] == ChipletState.VALID
+        assert merged.states[1] == ChipletState.DIRTY
+
+    def test_overflow_evicts_lru(self):
+        table = make_table(structs=2, window=2)  # capacity 4
+        entries = []
+        for i in range(4):
+            e, _ = table.get_or_create(region(f"r{i}", i * 1000, i * 1000 + 10))
+            entries.append(e)
+        _, evicted = table.get_or_create(region("new", 99000, 99010))
+        assert evicted is entries[0]
+        assert table.overflow_evictions == 1
+        assert len(table) == 4
+
+    def test_touch_refreshes_lru(self):
+        table = make_table(structs=2, window=1)  # capacity 2
+        a, _ = table.get_or_create(region("a", 0, 10))
+        table.get_or_create(region("b", 1000, 1010))
+        table.touch(a)
+        _, evicted = table.get_or_create(region("c", 2000, 2010))
+        assert evicted is not a
+
+    def test_peak_entries_tracked(self):
+        table = make_table()
+        for i in range(5):
+            table.get_or_create(region(f"r{i}", i * 100, i * 100 + 10))
+        assert table.peak_entries == 5
+
+
+class TestWholeCacheSideEffects:
+    def test_acquire_clears_chiplet_everywhere(self):
+        table = make_table()
+        a, _ = table.get_or_create(region("a", 0, 100))
+        b, _ = table.get_or_create(region("b", 200, 300))
+        a.states[1] = ChipletState.DIRTY
+        a.ranges[1] = (0, 100)
+        b.states[1] = ChipletState.VALID
+        b.ranges[1] = (200, 300)
+        b.states[2] = ChipletState.VALID
+        table.on_chiplet_acquired(1)
+        assert a not in table.entries            # became empty -> removed
+        assert b.states[1] == ChipletState.NOT_PRESENT
+        assert b.ranges[1] is None
+        assert b.states[2] == ChipletState.VALID  # untouched chiplet
+
+    def test_release_cleans_dirty_only(self):
+        table = make_table()
+        a, _ = table.get_or_create(region("a", 0, 100))
+        a.states[0] = ChipletState.DIRTY
+        a.states[1] = ChipletState.STALE
+        table.on_chiplet_released(0)
+        table.on_chiplet_released(1)
+        assert a.states[0] == ChipletState.VALID
+        assert a.states[1] == ChipletState.STALE  # release never fixes stale
+
+
+class TestRemoveIfEmpty:
+    def test_removes_all_not_present(self):
+        table = make_table()
+        entry, _ = table.get_or_create(region("a", 0, 100))
+        assert table.remove_if_empty(entry)
+        assert len(table) == 0
+
+    def test_keeps_non_empty(self):
+        table = make_table()
+        entry, _ = table.get_or_create(region("a", 0, 100))
+        entry.states[0] = ChipletState.VALID
+        assert not table.remove_if_empty(entry)
+        assert len(table) == 1
+
+
+class TestFindOverlapping:
+    def test_finds_by_extent(self):
+        table = make_table()
+        table.get_or_create(region("a", 0, 100))
+        table.get_or_create(region("b", 1000, 1100))
+        found = table.find_overlapping(50, 60)
+        assert len(found) == 1 and found[0].name == "a"
+        assert table.find_overlapping(500, 600) == []
+
+    def test_invalid_chiplet_count(self):
+        with pytest.raises(ValueError):
+            ChipletCoherenceTable(num_chiplets=0)

@@ -1,0 +1,72 @@
+"""Unit tests for static kernel-wide WG partitioning."""
+
+import pytest
+
+from repro.cp.packets import KernelPacket
+from repro.cp.wg_scheduler import Placement, WGScheduler
+
+
+def packet(num_wgs, mask=None):
+    return KernelPacket(kernel_id=0, name="k", stream_id=0, num_wgs=num_wgs,
+                        args=(), chiplet_mask=mask)
+
+
+class TestPlacement:
+    def test_share_of(self):
+        p = Placement(chiplets=(0, 1), wg_counts=(3, 1))
+        assert p.share_of(0) == pytest.approx(0.75)
+        assert p.share_of(1) == pytest.approx(0.25)
+        assert p.share_of(2) == 0.0
+
+    def test_logical_of(self):
+        p = Placement(chiplets=(2, 3), wg_counts=(1, 1))
+        assert p.logical_of(2) == 0
+        assert p.logical_of(3) == 1
+        assert p.logical_of(0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Placement(chiplets=(), wg_counts=())
+        with pytest.raises(ValueError):
+            Placement(chiplets=(0,), wg_counts=(1, 2))
+
+
+class TestWGScheduler:
+    def test_even_partitioning(self):
+        sched = WGScheduler(num_chiplets=4)
+        p = sched.place(packet(num_wgs=16))
+        assert p.chiplets == (0, 1, 2, 3)
+        assert p.wg_counts == (4, 4, 4, 4)
+        assert p.total_wgs == 16
+
+    def test_uneven_partitioning_conserves_wgs(self):
+        sched = WGScheduler(num_chiplets=3)
+        p = sched.place(packet(num_wgs=10))
+        assert p.total_wgs == 10
+        assert max(p.wg_counts) - min(p.wg_counts) <= 1
+
+    def test_fewer_wgs_than_chiplets(self):
+        sched = WGScheduler(num_chiplets=4)
+        p = sched.place(packet(num_wgs=2))
+        assert p.num_chiplets == 2
+        assert p.wg_counts == (1, 1)
+
+    def test_chiplet_mask_restricts(self):
+        sched = WGScheduler(num_chiplets=4)
+        p = sched.place(packet(num_wgs=8, mask=(2, 3)))
+        assert p.chiplets == (2, 3)
+        assert p.total_wgs == 8
+
+    def test_mask_beyond_device_trimmed(self):
+        sched = WGScheduler(num_chiplets=2)
+        p = sched.place(packet(num_wgs=8, mask=(0, 5)))
+        assert p.chiplets == (0,)
+
+    def test_empty_mask_rejected(self):
+        sched = WGScheduler(num_chiplets=2)
+        with pytest.raises(ValueError):
+            sched.place(packet(num_wgs=8, mask=(5,)))
+
+    def test_invalid_chiplet_count(self):
+        with pytest.raises(ValueError):
+            WGScheduler(num_chiplets=0)

@@ -1,0 +1,224 @@
+"""Tests for the 24 workload models and the trace generator."""
+
+import pytest
+
+from repro.cp.packets import AccessMode
+from repro.gpu.config import GPUConfig
+from repro.memory.address import AddressSpace
+from repro.workloads.base import (
+    AccessKind,
+    Kernel,
+    KernelArg,
+    PatternKind,
+    Workload,
+    kernel_touched_lines,
+    lines_for_arg,
+)
+from repro.workloads.suite import HIGH_REUSE, LOW_REUSE, WORKLOAD_NAMES, build_workload
+
+from tests.conftest import TEST_SCALE
+
+CONFIG = GPUConfig(num_chiplets=4, scale=TEST_SCALE)
+
+
+class TestSuiteRegistry:
+    def test_twenty_four_workloads(self):
+        """Table II evaluates 24 applications."""
+        assert len(WORKLOAD_NAMES) == 24
+        assert len(set(WORKLOAD_NAMES)) == 24
+
+    def test_grouping_sizes(self):
+        assert len(HIGH_REUSE) == 18
+        assert len(LOW_REUSE) == 6
+        assert not set(HIGH_REUSE) & set(LOW_REUSE)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_every_workload_builds(self, name):
+        workload = build_workload(name, CONFIG)
+        assert workload.num_kernels > 0
+        assert workload.buffers()
+        assert workload.footprint_bytes() > 0
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_every_kernel_annotated(self, name):
+        """Every kernel labels every data structure (Sec. III-B)."""
+        workload = build_workload(name, CONFIG)
+        for kernel in workload.kernels:
+            assert kernel.args, f"{kernel.name} has no annotations"
+            packet = kernel.packet(0, num_logical=4)
+            assert len(packet.args) == len(kernel.args)
+
+    def test_footprints_scale(self):
+        small = build_workload("babelstream", CONFIG)
+        big = build_workload("babelstream", CONFIG.with_scale(1 / 16))
+        assert big.footprint_bytes() > small.footprint_bytes()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("doom", CONFIG)
+
+    def test_dynamic_kernel_counts_reasonable(self):
+        """Table II: up to 510 dynamic kernels; our capped models stay in
+        a representative band."""
+        for name in WORKLOAD_NAMES:
+            n = build_workload(name, CONFIG).num_kernels
+            assert 3 <= n <= 510, f"{name}: {n} kernels"
+
+
+class TestKernelArgValidation:
+    def setup_method(self):
+        self.buf = AddressSpace().alloc("A", 64 * 4096)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            KernelArg(self.buf, AccessMode.R, fraction=0.0)
+        with pytest.raises(ValueError):
+            KernelArg(self.buf, AccessMode.R, fraction=1.5)
+
+    def test_invalid_offset(self):
+        with pytest.raises(ValueError):
+            KernelArg(self.buf, AccessMode.R, offset=1.0)
+
+    def test_read_only_store_rejected(self):
+        with pytest.raises(ValueError):
+            KernelArg(self.buf, AccessMode.R, kind=AccessKind.STORE)
+
+    def test_effective_kind_defaults(self):
+        assert KernelArg(self.buf, AccessMode.R).effective_kind \
+            is AccessKind.LOAD
+        assert KernelArg(self.buf, AccessMode.RW).effective_kind \
+            is AccessKind.LOAD_STORE
+
+
+class TestTraceGenerator:
+    def setup_method(self):
+        self.buf = AddressSpace().alloc("A", 64 * 4096)  # 4096 lines
+
+    def test_partitioned_slices_disjoint_and_complete(self):
+        arg = KernelArg(self.buf, AccessMode.R)
+        all_lines = []
+        for logical in range(4):
+            all_lines.extend(lines_for_arg(arg, logical, 4, kernel_id=0))
+        assert len(all_lines) == len(set(all_lines)) == self.buf.num_lines
+
+    def test_fraction_limits_sweep(self):
+        arg = KernelArg(self.buf, AccessMode.R, fraction=0.5)
+        lines = lines_for_arg(arg, 0, 4, 0)
+        assert len(lines) == pytest.approx(self.buf.num_lines / 8, abs=2)
+
+    def test_offset_moves_window(self):
+        a = KernelArg(self.buf, AccessMode.R, fraction=0.25, offset=0.0)
+        b = KernelArg(self.buf, AccessMode.R, fraction=0.25, offset=0.5)
+        assert not set(lines_for_arg(a, 0, 4, 0)) \
+            & set(lines_for_arg(b, 0, 4, 0))
+
+    def test_stencil_halo_reaches_neighbors(self):
+        arg = KernelArg(self.buf, AccessMode.R, pattern=PatternKind.STENCIL,
+                        halo_lines=4)
+        lines = set(lines_for_arg(arg, 1, 4, 0))
+        lo, hi = self.buf.slice_lines(1, 4)
+        assert (lo - 1) in lines       # reaches into the slice below
+        assert hi in lines             # and above
+
+    def test_stencil_halo_clamped_at_edges(self):
+        arg = KernelArg(self.buf, AccessMode.R, pattern=PatternKind.STENCIL,
+                        halo_lines=4)
+        lines = set(lines_for_arg(arg, 0, 4, 0))
+        assert min(lines) == self.buf.first_line
+
+    def test_shared_touches_whole_buffer_per_chiplet(self):
+        arg = KernelArg(self.buf, AccessMode.R, pattern=PatternKind.SHARED)
+        for logical in range(4):
+            assert len(lines_for_arg(arg, logical, 4, 0)) \
+                == self.buf.num_lines
+
+    def test_random_is_deterministic(self):
+        arg = KernelArg(self.buf, AccessMode.R, pattern=PatternKind.RANDOM,
+                        fraction=0.2, seed=7)
+        a = lines_for_arg(arg, 0, 4, kernel_id=3)
+        b = lines_for_arg(arg, 0, 4, kernel_id=3)
+        assert a == b
+
+    def test_random_resamples_per_kernel(self):
+        arg = KernelArg(self.buf, AccessMode.R, pattern=PatternKind.RANDOM,
+                        fraction=0.2, seed=7, resample=True)
+        a = set(lines_for_arg(arg, 0, 4, kernel_id=0))
+        b = set(lines_for_arg(arg, 0, 4, kernel_id=1))
+        assert a != b
+
+    def test_random_stable_across_kernels(self):
+        arg = KernelArg(self.buf, AccessMode.R, pattern=PatternKind.RANDOM,
+                        fraction=0.2, seed=7, resample=False)
+        a = lines_for_arg(arg, 0, 4, kernel_id=0)
+        b = lines_for_arg(arg, 0, 4, kernel_id=9)
+        assert a == b
+
+    def test_stable_fraction_mixes(self):
+        arg = KernelArg(self.buf, AccessMode.R, pattern=PatternKind.RANDOM,
+                        fraction=0.4, seed=7, stable_fraction=0.5)
+        a = set(lines_for_arg(arg, 0, 4, kernel_id=0))
+        b = set(lines_for_arg(arg, 0, 4, kernel_id=1))
+        overlap = len(a & b) / max(1, min(len(a), len(b)))
+        assert 0.3 <= overlap <= 0.9  # roughly half recur
+
+    def test_lines_stay_inside_buffer(self):
+        for pattern in PatternKind:
+            arg = KernelArg(self.buf, AccessMode.R, pattern=pattern,
+                            fraction=0.5, halo_lines=8)
+            for logical in range(4):
+                lines = lines_for_arg(arg, logical, 4, 0)
+                first, last = self.buf.line_range()
+                assert all(first <= l < last for l in lines)
+
+    def test_kernel_touched_lines_counts_all_args(self):
+        kernel = Kernel("k", args=(
+            KernelArg(self.buf, AccessMode.R),
+            KernelArg(self.buf, AccessMode.RW, fraction=0.5),
+        ))
+        total = kernel_touched_lines(kernel, 4, 0)
+        assert total == pytest.approx(self.buf.num_lines * 1.5, rel=0.01)
+
+
+class TestWorkloadValidation:
+    def test_reuse_class_checked(self):
+        space = AddressSpace()
+        buf = space.alloc("A", 4096)
+        kernel = Kernel("k", args=(KernelArg(buf, AccessMode.R),))
+        with pytest.raises(ValueError):
+            Workload(name="w", space=space, kernels=[kernel],
+                     reuse_class="medium")
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(name="w", space=AddressSpace(), kernels=[])
+
+
+class TestStreamsBench:
+    """The Sec. VI gem5-resources multi-stream benchmark."""
+
+    def test_builds_with_two_streams(self):
+        workload = build_workload("streams", CONFIG)
+        streams = {k.stream_id for k in workload.kernels}
+        assert streams == {0, 1}
+
+    def test_streams_have_disjoint_masks(self):
+        workload = build_workload("streams", CONFIG)
+        masks = {k.chiplet_mask for k in workload.kernels}
+        assert masks == {(0, 1), (2, 3)}
+
+    def test_not_counted_in_table2(self):
+        from repro.workloads.suite import EXTRA_WORKLOADS
+        assert "streams" in EXTRA_WORKLOADS
+        assert "streams" not in WORKLOAD_NAMES
+
+    def test_rejects_single_chiplet(self):
+        from repro.gpu.config import GPUConfig
+        with pytest.raises(ValueError):
+            build_workload("streams", GPUConfig(num_chiplets=1,
+                                                scale=TEST_SCALE))
+
+    def test_runs_concurrently(self):
+        from repro.gpu.sim import Simulator
+        result = Simulator(CONFIG, "cpelide").run(
+            build_workload("streams", CONFIG))
+        assert result.wall_cycles < result.metrics.total_cycles
