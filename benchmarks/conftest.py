@@ -32,6 +32,13 @@ def full_sweeps() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
 
+def bench_config(num_chiplets: int = 4, **overrides):
+    """A :class:`repro.GPUConfig` at the benchmark scale."""
+    from repro.api import default_config
+    overrides.setdefault("scale", bench_scale())
+    return default_config(num_chiplets=num_chiplets, **overrides)
+
+
 @pytest.fixture
 def save_report():
     """Persist a rendered figure/table and echo it."""

@@ -1,12 +1,11 @@
 """Bench: regenerate Table III and cross-check the implementable claims."""
 
-from repro.coherence.base import make_protocol
+from repro.api import make_protocol
 from repro.experiments import table3
-from repro.gpu.config import GPUConfig
 from repro.gpu.device import Device
 from repro.memory.cache import WritePolicy
 
-from conftest import run_once
+from conftest import bench_config, run_once
 
 
 def test_table3_features(benchmark, save_report):
@@ -15,7 +14,7 @@ def test_table3_features(benchmark, save_report):
     save_report("table3", report)
 
     # Cross-check claims against our implementations.
-    config = GPUConfig(num_chiplets=4, scale=1 / 64)
+    config = bench_config(num_chiplets=4, scale=1 / 64)
     # "No coherence protocol changes": CPElide uses Baseline's exact data
     # path (subclass relationship).
     from repro.coherence.cpelide import CPElideProtocol

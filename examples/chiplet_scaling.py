@@ -11,7 +11,7 @@ the benefit appears and grows (Sec. V-C).
 Run:  python examples/chiplet_scaling.py
 """
 
-from repro import GPUConfig, Simulator, build_workload
+from repro.api import build_workload, default_config, simulate
 from repro.metrics.report import format_table
 
 CHIPLET_COUNTS = (2, 4, 6, 7)
@@ -21,11 +21,10 @@ APP = "hotspot3d"
 def main() -> None:
     rows = []
     for chiplets in CHIPLET_COUNTS:
-        config = GPUConfig(num_chiplets=chiplets, scale=1 / 32)
+        config = default_config(num_chiplets=chiplets, scale=1 / 32)
         cycles = {}
         for protocol in ("baseline", "hmg", "cpelide"):
-            res = Simulator(config, protocol).run(
-                build_workload(APP, config))
+            res = simulate(APP, protocol, config=config)
             cycles[protocol] = res.wall_cycles
         footprint = build_workload(APP, config).footprint_bytes()
         rows.append([

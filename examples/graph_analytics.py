@@ -16,7 +16,7 @@ directory entries over-invalidate, and remote caching evicts local data
 Run:  python examples/graph_analytics.py
 """
 
-from repro import GPUConfig, Simulator, build_workload
+from repro.api import default_config, simulate
 from repro.metrics.report import format_table
 
 GRAPH_APPS = ("color", "sssp", "bfs")
@@ -24,13 +24,13 @@ PROTOCOLS = ("baseline", "hmg", "cpelide")
 
 
 def main() -> None:
-    config = GPUConfig(num_chiplets=4, scale=1 / 32)
+    config = default_config(num_chiplets=4, scale=1 / 32)
     rows = []
     for app in GRAPH_APPS:
         cycles = {}
         details = {}
         for protocol in PROTOCOLS:
-            res = Simulator(config, protocol).run(build_workload(app, config))
+            res = simulate(app, protocol, config=config)
             cycles[protocol] = res.wall_cycles
             details[protocol] = res
         cpe = details["cpelide"].metrics.total_sync()

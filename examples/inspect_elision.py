@@ -10,15 +10,14 @@ checking the paper's never-overflows claim (Sec. IV-D).
 Run:  python examples/inspect_elision.py
 """
 
-from repro import GPUConfig
+from repro.api import build_workload, default_config
 from repro.analysis.occupancy import profile_table_occupancy
 from repro.analysis.sync_trace import trace_sync_ops
 from repro.cp.packets import AccessMode
 from repro.memory.address import AddressSpace
 from repro.workloads.base import Kernel, KernelArg, Workload
-from repro.workloads.suite import build_workload
 
-CONFIG = GPUConfig(num_chiplets=4, scale=1 / 32)
+CONFIG = default_config(num_chiplets=4, scale=1 / 32)
 
 
 def producer_consumer_workload() -> Workload:

@@ -12,20 +12,19 @@ remote reads locally (Sec. V-B).
 Run:  python examples/ml_inference.py
 """
 
-from repro import GPUConfig, Simulator, build_workload
+from repro.api import default_config, simulate
 from repro.metrics.report import format_table
 
 RNNS = ("rnn-gru-small", "rnn-gru-large", "rnn-lstm-small", "rnn-lstm-large")
 
 
 def main() -> None:
-    config = GPUConfig(num_chiplets=4, scale=1 / 32)
+    config = default_config(num_chiplets=4, scale=1 / 32)
     rows = []
     for name in RNNS:
         res = {}
         for protocol in ("baseline", "hmg", "cpelide"):
-            res[protocol] = Simulator(config, protocol).run(
-                build_workload(name, config))
+            res[protocol] = simulate(name, protocol, config=config)
         base = res["baseline"].wall_cycles
         cpe_acc = res["cpelide"].metrics.total_accesses()
         hmg_acc = res["hmg"].metrics.total_accesses()

@@ -10,7 +10,7 @@ per-chiplet tracking elides the synchronization each stream doesn't need.
 Run:  python examples/multi_stream_jobs.py
 """
 
-from repro import GPUConfig, HipRuntime
+from repro.api import HipRuntime, default_config
 from repro.metrics.report import format_table
 
 ITERATIONS = 12
@@ -18,7 +18,7 @@ ELEMENTS = 262144
 
 
 def run_two_jobs(protocol: str):
-    config = GPUConfig(num_chiplets=4, scale=1 / 32)
+    config = default_config(num_chiplets=4, scale=1 / 32)
     rt = HipRuntime(config, protocol=protocol)
 
     # Stream 0 -> chiplets {0,1}; stream 1 -> chiplets {2,3}.

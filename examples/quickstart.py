@@ -10,7 +10,7 @@ relaunches hit the per-chiplet L2s.
 Run:  python examples/quickstart.py
 """
 
-from repro import GPUConfig, HipRuntime
+from repro.api import HipRuntime, default_config
 from repro.metrics.report import format_table
 
 ITERATIONS = 20
@@ -19,7 +19,7 @@ ELEMENTS = 524288  # Table II input size
 
 def run_square(protocol: str):
     """Listing 1, iterated, on the given coherence configuration."""
-    config = GPUConfig(num_chiplets=4, scale=1 / 32)
+    config = default_config(num_chiplets=4, scale=1 / 32)
     rt = HipRuntime(config, protocol=protocol)
 
     # The simulator's `scale` knob shrinks the caches; scale the

@@ -7,15 +7,17 @@ Table and elision engine, the Baseline and HMG comparators, 24 workload
 models, and the experiment harnesses regenerating every figure and table
 of the paper's evaluation.
 
-Quick start::
+Quick start (the :mod:`repro.api` facade is the documented entry point)::
 
-    from repro import GPUConfig, Simulator, build_workload
+    from repro import simulate, sweep
 
-    config = GPUConfig(num_chiplets=4, scale=1 / 32)
-    workload = build_workload("babelstream", config)
     for protocol in ("baseline", "hmg", "cpelide"):
-        result = Simulator(config, protocol).run(workload)
+        result = simulate("babelstream", protocol)
         print(protocol, result.wall_cycles)
+
+    # Or the whole suite at once, parallel and cached:
+    res = sweep(jobs=4)
+    print(res.report.summary())
 """
 
 from repro.coherence import (
@@ -24,6 +26,7 @@ from repro.coherence import (
     HMGProtocol,
     MonolithicProtocol,
     make_protocol,
+    protocol_names,
 )
 from repro.core import ChipletCoherenceTable, ChipletState, ElisionEngine
 from repro.cp import AccessMode, KernelPacket, Placement
@@ -48,6 +51,14 @@ from repro.analysis import (
     profile_table_occupancy,
     trace_sync_ops,
 )
+from repro.engine import (
+    ResultCache,
+    SweepReport,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+)
+from repro.api import default_config, simulate, sweep
 
 __version__ = "1.0.0"
 
@@ -87,5 +98,14 @@ __all__ = [
     "geomean",
     "make_protocol",
     "monolithic_equivalent",
+    "protocol_names",
+    "ResultCache",
+    "SweepReport",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "default_config",
+    "simulate",
+    "sweep",
     "__version__",
 ]

@@ -9,6 +9,12 @@ Subcommands:
   acquires/releases fired, and why).
 * ``occupancy [<workload> ...]`` — Chiplet Coherence Table occupancy.
 
+``run`` and ``occupancy`` execute through the sweep engine: ``--jobs N``
+fans simulations out over worker processes, and completed cells are
+served from the on-disk result cache (disable with ``--no-cache``).
+Protocol choices come from the coherence registry, so a newly registered
+protocol is immediately runnable here.
+
 Figures and tables have their own CLI: ``python -m repro.experiments``.
 """
 
@@ -18,20 +24,20 @@ import argparse
 import sys
 from typing import List
 
-from repro.analysis.occupancy import profile_suite
 from repro.analysis.sync_trace import trace_sync_ops
-from repro.experiments.occupancy import report as occupancy_report
+from repro.coherence.base import protocol_names
+from repro.experiments import occupancy as occupancy_experiment
 from repro.gpu.config import GPUConfig
-from repro.gpu.sim import Simulator
 from repro.metrics.report import format_table
 from repro.workloads.suite import EXTRA_WORKLOADS, WORKLOAD_NAMES, build_workload
-
-PROTOCOL_NAMES = ("baseline", "cpelide", "cpelide-range", "cpelide-driver",
-                  "hmg", "hmg-wb", "nosync")
 
 
 def _config(args) -> GPUConfig:
     return GPUConfig(num_chiplets=args.chiplets, scale=args.scale)
+
+
+def _progress(message: str) -> None:
+    print(message, file=sys.stderr)
 
 
 def cmd_list(args) -> int:
@@ -42,31 +48,53 @@ def cmd_list(args) -> int:
     for name in EXTRA_WORKLOADS:
         print(f"  {name}")
     print("protocols:")
-    for name in PROTOCOL_NAMES:
+    for name in protocol_names():
         print(f"  {name}")
     return 0
 
 
 def cmd_run(args) -> int:
+    from repro.api import sweep
+    from repro.gpu.config import monolithic_equivalent
+
     config = _config(args)
+    # The monolithic comparator models a single-chiplet GPU of the same
+    # aggregate capacity; give it its own config cell instead of crashing
+    # on the multi-chiplet one.
+    regular = tuple(p for p in args.protocols if p != "monolithic")
+    results = {}
+    reports = []
+    if regular:
+        res = sweep(workloads=(args.workload,), protocols=regular,
+                    configs=(config,), scheduler=args.scheduler,
+                    jobs=args.jobs, cache=not args.no_cache,
+                    progress=_progress)
+        reports.append(res.report)
+        for protocol in regular:
+            results[protocol] = res.get(args.workload, protocol)
+    if "monolithic" in args.protocols:
+        res = sweep(workloads=(args.workload,), protocols=("monolithic",),
+                    configs=(monolithic_equivalent(config),),
+                    scheduler=args.scheduler, jobs=args.jobs,
+                    cache=not args.no_cache, progress=_progress)
+        reports.append(res.report)
+        results["monolithic"] = res.get(args.workload, "monolithic")
     rows: List[List[object]] = []
     baseline_cycles = None
     for protocol in args.protocols:
-        workload = build_workload(args.workload, config)
-        result = Simulator(config, protocol,
-                           scheduler=args.scheduler).run(workload)
+        res = results[protocol]
         if baseline_cycles is None:
-            baseline_cycles = result.wall_cycles
-        acc = result.metrics.total_accesses()
-        sync = result.metrics.total_sync()
+            baseline_cycles = res.wall_cycles
+        acc = res.metrics.total_accesses()
+        sync = res.metrics.total_sync()
         rows.append([
             protocol,
-            result.wall_cycles,
-            baseline_cycles / result.wall_cycles,
+            res.wall_cycles,
+            baseline_cycles / res.wall_cycles,
             acc.l2_miss_rate,
-            result.metrics.total_traffic().total,
+            res.metrics.total_traffic().total,
             sync.acquires_elided + sync.releases_elided,
-            result.energy["total"] * 1e6,
+            res.energy["total"] * 1e6,
         ])
     print(format_table(
         ["protocol", "cycles", f"speedup vs {args.protocols[0]}",
@@ -74,6 +102,8 @@ def cmd_run(args) -> int:
         rows,
         title=(f"{args.workload} on {config.num_chiplets} chiplets "
                f"(scale {config.scale:g})")))
+    for report in reports:
+        print(report.summary(), file=sys.stderr)
     return 0
 
 
@@ -86,9 +116,11 @@ def cmd_trace(args) -> int:
 
 
 def cmd_occupancy(args) -> int:
-    config = _config(args)
-    names = args.workloads or None
-    print(occupancy_report(profile_suite(config, names)))
+    profiles = occupancy_experiment.run(
+        workloads=args.workloads or None, scale=args.scale,
+        num_chiplets=args.chiplets, jobs=args.jobs,
+        cache=not args.no_cache, progress=_progress)
+    print(occupancy_experiment.report(profiles))
     return 0
 
 
@@ -101,6 +133,10 @@ def main(argv=None) -> int:
                         help="simulation scale (default 1/32)")
     parser.add_argument("--chiplets", type=int, default=4,
                         help="chiplet count (default 4)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial, 0 = one per CPU)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk result cache")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads and protocols")
@@ -109,14 +145,14 @@ def main(argv=None) -> int:
     run_p.add_argument("workload", choices=WORKLOAD_NAMES + EXTRA_WORKLOADS)
     run_p.add_argument("--protocols", nargs="+", default=["baseline", "hmg",
                                                           "cpelide"],
-                       choices=PROTOCOL_NAMES)
+                       choices=protocol_names())
     run_p.add_argument("--scheduler", default="static",
                        choices=("static", "locality"))
 
     trace_p = sub.add_parser("trace", help="print the sync-op trace")
     trace_p.add_argument("workload", choices=WORKLOAD_NAMES + EXTRA_WORKLOADS)
     trace_p.add_argument("--protocols", nargs="+", default=["cpelide"],
-                         choices=PROTOCOL_NAMES)
+                         choices=protocol_names())
     trace_p.add_argument("--limit", type=int, default=40)
 
     occ_p = sub.add_parser("occupancy", help="coherence-table occupancy")

@@ -50,6 +50,37 @@ class TableOccupancyProfile:
         total = issued + elided
         return elided / total if total else 1.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-serializable dump (for the engine's cache)."""
+        return {
+            "workload": self.workload,
+            "num_kernels": int(self.num_kernels),
+            "occupancy": [int(n) for n in self.occupancy],
+            "peak_entries": int(self.peak_entries),
+            "capacity": int(self.capacity),
+            "overflow_evictions": int(self.overflow_evictions),
+            "acquires_issued": int(self.acquires_issued),
+            "releases_issued": int(self.releases_issued),
+            "acquires_elided": int(self.acquires_elided),
+            "releases_elided": int(self.releases_elided),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TableOccupancyProfile":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            workload=data["workload"],
+            num_kernels=int(data["num_kernels"]),
+            occupancy=[int(n) for n in data["occupancy"]],
+            peak_entries=int(data["peak_entries"]),
+            capacity=int(data["capacity"]),
+            overflow_evictions=int(data["overflow_evictions"]),
+            acquires_issued=int(data["acquires_issued"]),
+            releases_issued=int(data["releases_issued"]),
+            acquires_elided=int(data["acquires_elided"]),
+            releases_elided=int(data["releases_elided"]),
+        )
+
 
 def profile_table_occupancy(workload: Workload,
                             config: GPUConfig) -> TableOccupancyProfile:

@@ -1,0 +1,147 @@
+"""The single documented entry point for running the reproduction.
+
+Downstream code (examples, benchmarks, notebooks, services) should import
+from here instead of reaching into ``repro.gpu``, ``repro.workloads``,
+``repro.coherence``, and ``repro.engine`` separately::
+
+    from repro.api import simulate, sweep
+
+    # One cell: workload x protocol (x config x scheduler).
+    result = simulate("babelstream", "cpelide")
+    print(result.wall_cycles)
+
+    # A whole sweep, fanned out over worker processes and served from
+    # the on-disk result cache on re-runs.
+    res = sweep(workloads=("square", "bfs"), jobs=4)
+    print(res.get("square", "cpelide").wall_cycles)
+    print(res.report.summary())
+
+The commonly-needed building blocks (:class:`GPUConfig`,
+:func:`build_workload`, :func:`protocol_names`, :class:`HipRuntime`, …)
+are re-exported so one import serves a typical script.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.coherence.base import make_protocol, protocol_names
+from repro.engine.cache import ResultCache, default_cache_dir
+from repro.engine.runner import (
+    ProgressFn,
+    SweepReport,
+    SweepResult,
+    SweepRunner,
+)
+from repro.engine.spec import (
+    DEFAULT_PROTOCOLS,
+    DEFAULT_SCALE,
+    SweepSpec,
+    WorkloadSpec,
+)
+from repro.gpu.config import GPUConfig, monolithic_equivalent
+from repro.gpu.sim import SimulationResult, Simulator
+from repro.hip.runtime import HipRuntime
+from repro.workloads.base import Workload
+from repro.workloads.suite import (
+    EXTRA_WORKLOADS,
+    HIGH_REUSE,
+    LOW_REUSE,
+    WORKLOAD_NAMES,
+    build_workload,
+)
+
+__all__ = [
+    "DEFAULT_PROTOCOLS",
+    "DEFAULT_SCALE",
+    "EXTRA_WORKLOADS",
+    "GPUConfig",
+    "HIGH_REUSE",
+    "HipRuntime",
+    "LOW_REUSE",
+    "ResultCache",
+    "SimulationResult",
+    "Simulator",
+    "SweepReport",
+    "SweepResult",
+    "SweepSpec",
+    "WORKLOAD_NAMES",
+    "Workload",
+    "build_workload",
+    "default_cache_dir",
+    "default_config",
+    "make_protocol",
+    "monolithic_equivalent",
+    "protocol_names",
+    "simulate",
+    "sweep",
+]
+
+
+def default_config(num_chiplets: int = 4, scale: float = DEFAULT_SCALE,
+                   **overrides) -> GPUConfig:
+    """The Table I configuration at experiment scale.
+
+    Any other :class:`GPUConfig` field can be overridden by keyword.
+    """
+    return GPUConfig(num_chiplets=num_chiplets, scale=scale, **overrides)
+
+
+def simulate(workload: Union[str, Workload],
+             protocol: str = "cpelide",
+             config: Optional[GPUConfig] = None,
+             scheduler: str = "static",
+             *,
+             cache: Union[bool, ResultCache] = False,
+             jobs: int = 1) -> SimulationResult:
+    """Run one workload under one protocol and return its result.
+
+    ``workload`` is a registry name (see :data:`WORKLOAD_NAMES`) or an
+    already-built :class:`Workload`. Named workloads route through the
+    sweep engine, so ``cache=True`` serves repeat runs from the on-disk
+    result cache; ``Workload`` instances run directly (they have no
+    stable cache identity).
+    """
+    config = config or default_config()
+    if isinstance(workload, Workload):
+        return Simulator(config, protocol, scheduler=scheduler).run(workload)
+    spec = SweepSpec(workloads=(workload,), protocols=(protocol,),
+                     configs=(config,), scheduler=scheduler)
+    runner = SweepRunner(jobs=jobs, cache=cache)
+    return runner.run(spec).outcomes[0].result
+
+
+def sweep(spec: Optional[SweepSpec] = None,
+          *,
+          workloads: Optional[Sequence[WorkloadSpec]] = None,
+          protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+          chiplet_counts: Sequence[int] = (4,),
+          scale: float = DEFAULT_SCALE,
+          scheduler: str = "static",
+          configs: Optional[Sequence[GPUConfig]] = None,
+          jobs: int = 1,
+          cache: Union[bool, ResultCache] = True,
+          cache_dir=None,
+          progress: Optional[ProgressFn] = None) -> SweepResult:
+    """Run a declarative sweep through the parallel engine.
+
+    Pass a prebuilt :class:`SweepSpec`, or describe the grid by keyword
+    (``workloads=None`` selects all 24 Table II applications). ``jobs``
+    sizes the worker pool (1 = serial, 0/None = one per CPU); ``cache``
+    (default on) serves completed cells from the on-disk result cache.
+    Results arrive in spec order regardless of completion order.
+    """
+    if spec is None:
+        if configs is not None:
+            if workloads is None:
+                workloads = tuple(WORKLOAD_NAMES)
+            spec = SweepSpec(workloads=tuple(workloads),
+                             protocols=tuple(protocols),
+                             configs=tuple(configs), scheduler=scheduler)
+        else:
+            spec = SweepSpec.grid(workloads=workloads, protocols=protocols,
+                                  chiplet_counts=chiplet_counts, scale=scale,
+                                  scheduler=scheduler)
+    runner = SweepRunner(jobs=jobs, cache=cache, cache_dir=cache_dir,
+                         progress=progress)
+    return runner.run(spec)

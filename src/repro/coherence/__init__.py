@@ -18,7 +18,7 @@ Three evaluated configurations plus two extras:
   chiplet; the L2 is the shared point, so no L2-level implicit sync).
 """
 
-from repro.coherence.base import CoherenceProtocol, make_protocol
+from repro.coherence.base import CoherenceProtocol, make_protocol, protocol_names
 from repro.coherence.viper import BaselineProtocol, MonolithicProtocol
 from repro.coherence.cpelide import CPElideProtocol
 from repro.coherence.hmg import HMGProtocol
@@ -26,6 +26,7 @@ from repro.coherence.hmg import HMGProtocol
 __all__ = [
     "CoherenceProtocol",
     "make_protocol",
+    "protocol_names",
     "BaselineProtocol",
     "MonolithicProtocol",
     "CPElideProtocol",

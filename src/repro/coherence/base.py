@@ -79,36 +79,55 @@ class CoherenceProtocol(abc.ABC):
         return SyncCounts()
 
 
+#: Lazily-populated protocol registry: name -> factory(config, device).
+#: Everything that needs the list of protocols (the CLIs, the sweep
+#: engine, the facade) derives it from here via :func:`protocol_names`,
+#: so registering a protocol in one place is enough.
+_REGISTRY: "dict[str, object]" = {}
+
+
+def _registry() -> "dict[str, object]":
+    """Build (once) and return the name -> factory table."""
+    if not _REGISTRY:
+        from repro.coherence.cpelide import (
+            CPElideProtocol,
+            DriverManagedCPElideProtocol,
+        )
+        from repro.coherence.hmg import HMGProtocol
+        from repro.coherence.viper import (
+            BaselineProtocol,
+            MonolithicProtocol,
+            NoSyncProtocol,
+        )
+
+        _REGISTRY.update({
+            "baseline": BaselineProtocol,
+            "nosync": NoSyncProtocol,
+            "cpelide": CPElideProtocol,
+            "cpelide-range": lambda config, device: CPElideProtocol(
+                config, device, range_ops=True),
+            "cpelide-driver": DriverManagedCPElideProtocol,
+            "hmg": lambda config, device: HMGProtocol(config, device,
+                                                      write_back=False),
+            "hmg-wb": lambda config, device: HMGProtocol(config, device,
+                                                         write_back=True),
+            "monolithic": MonolithicProtocol,
+        })
+    return _REGISTRY
+
+
+def protocol_names() -> "tuple[str, ...]":
+    """All registered protocol names, sorted (drives CLI choices)."""
+    return tuple(sorted(_registry()))
+
+
 def make_protocol(name: str, config: "GPUConfig",
                   device: "Device") -> CoherenceProtocol:
     """Instantiate a protocol by registry name."""
-    from repro.coherence.cpelide import (
-        CPElideProtocol,
-        DriverManagedCPElideProtocol,
-    )
-    from repro.coherence.hmg import HMGProtocol
-    from repro.coherence.viper import (
-        BaselineProtocol,
-        MonolithicProtocol,
-        NoSyncProtocol,
-    )
-
-    registry = {
-        "baseline": lambda: BaselineProtocol(config, device),
-        "nosync": lambda: NoSyncProtocol(config, device),
-        "cpelide": lambda: CPElideProtocol(config, device),
-        "cpelide-range": lambda: CPElideProtocol(config, device,
-                                                 range_ops=True),
-        "cpelide-driver": lambda: DriverManagedCPElideProtocol(config,
-                                                               device),
-        "hmg": lambda: HMGProtocol(config, device, write_back=False),
-        "hmg-wb": lambda: HMGProtocol(config, device, write_back=True),
-        "monolithic": lambda: MonolithicProtocol(config, device),
-    }
     try:
-        factory = registry[name]
+        factory = _registry()[name]
     except KeyError:
         raise ValueError(
-            f"unknown protocol {name!r}; choose from {sorted(registry)}"
+            f"unknown protocol {name!r}; choose from {sorted(_registry())}"
         ) from None
-    return factory()
+    return factory(config, device)

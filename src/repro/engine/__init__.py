@@ -1,0 +1,62 @@
+"""Parallel sweep engine with content-addressed result caching.
+
+The execution substrate under every experiment harness and both CLIs:
+
+* :class:`~repro.engine.spec.SweepSpec` — a declarative workloads x
+  protocols x configs product, expanded into picklable
+  :class:`~repro.engine.spec.JobSpec` cells in a canonical order;
+* :class:`~repro.engine.cache.ResultCache` — a content-addressed on-disk
+  JSON cache of completed cells (keyed by workload + protocol +
+  ``GPUConfig`` fields + scheduler, salted with a code-version digest),
+  with hit/miss/invalidation accounting;
+* :class:`~repro.engine.runner.SweepRunner` — fans cache misses out over
+  a ``fork``-based process pool (serial fallback for ``jobs=1`` and
+  platforms without ``fork``) and aggregates results deterministically
+  in spec order, emitting a :class:`~repro.engine.runner.SweepReport`.
+
+Typical use goes through the :mod:`repro.api` facade::
+
+    from repro.api import sweep
+    result = sweep(workloads=("square", "bfs"), jobs=4)
+    print(result.report.summary())
+"""
+
+from repro.engine.cache import (
+    CacheStats,
+    ResultCache,
+    code_version_salt,
+    default_cache_dir,
+)
+from repro.engine.runner import (
+    JobOutcome,
+    SweepReport,
+    SweepResult,
+    SweepRunner,
+    resolve_jobs,
+)
+from repro.engine.spec import (
+    DEFAULT_PROTOCOLS,
+    DEFAULT_SCALE,
+    JobSpec,
+    SweepSpec,
+    build_for_job,
+    workload_label,
+)
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_PROTOCOLS",
+    "DEFAULT_SCALE",
+    "JobOutcome",
+    "JobSpec",
+    "ResultCache",
+    "SweepReport",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "build_for_job",
+    "code_version_salt",
+    "default_cache_dir",
+    "resolve_jobs",
+    "workload_label",
+]

@@ -1,0 +1,176 @@
+"""Content-addressed on-disk cache of completed simulation results.
+
+A sweep cell is fully determined by its :class:`~repro.engine.spec.JobSpec`
+(workload spec + protocol + every ``GPUConfig`` field + scheduler) and by
+the simulator's code version. The cache addresses each cell by a stable
+SHA-256 of the job's canonical JSON identity; the code version enters as a
+*salt* stored inside the entry, so a simulator-affecting edit invalidates
+stale entries on first touch (counted, and the file is replaced) while
+edits to the engine/experiment/CLI layers leave every entry valid —
+re-running a finished experiment after an unrelated edit is near-instant.
+
+Entries are JSON documents (``SimulationResult.to_dict()`` payloads), so
+a cache hit reproduces the original result bit-for-bit. Layout::
+
+    <root>/<key[:2]>/<key>.json
+
+The root defaults to ``~/.cache/repro-cpelide`` and is overridden by the
+``REPRO_CACHE_DIR`` environment variable (the test suite points it at a
+tmpdir).
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.engine.spec import JobSpec
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Subpackages whose source text determines simulation results. Edits
+#: anywhere else (engine/, experiments/, analysis CLI glue, docs, tests)
+#: do not invalidate cached results.
+_SALT_PACKAGES = ("core", "coherence", "cp", "memory", "interconnect",
+                  "gpu", "timing", "energy", "workloads", "metrics",
+                  "analysis", "hip")
+
+#: Individual modules outside those subpackages that also shape results
+#: (the multi-stream workload builder feeds ``("multistream", ...)`` jobs).
+_SALT_MODULES = ("experiments/multistream.py",)
+
+
+@functools.lru_cache(maxsize=1)
+def code_version_salt() -> str:
+    """Digest of every simulation-relevant source file.
+
+    Hashed once per process; any edit under the :data:`_SALT_PACKAGES`
+    subpackages changes the salt and therefore invalidates prior entries.
+    """
+    import repro
+    root = pathlib.Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for package in _SALT_PACKAGES:
+        for path in sorted((root / package).rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(path.read_bytes())
+    for module in _SALT_MODULES:
+        path = root / module
+        digest.update(module.encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def default_cache_dir() -> pathlib.Path:
+    """Resolve the cache root (honouring ``REPRO_CACHE_DIR``)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path.home() / ".cache" / "repro-cpelide"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation accounting for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    stores: int = 0
+
+    def snapshot(self) -> "CacheStats":
+        """Copy of the current counters."""
+        return CacheStats(self.hits, self.misses, self.invalidations,
+                          self.stores)
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter deltas relative to an earlier snapshot."""
+        return CacheStats(self.hits - earlier.hits,
+                          self.misses - earlier.misses,
+                          self.invalidations - earlier.invalidations,
+                          self.stores - earlier.stores)
+
+
+class ResultCache:
+    """Content-addressed JSON store of completed job results."""
+
+    def __init__(self, root: "os.PathLike[str] | str | None" = None,
+                 salt: Optional[str] = None) -> None:
+        self.root = pathlib.Path(root) if root else default_cache_dir()
+        self.salt = salt if salt is not None else code_version_salt()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+
+    def key(self, job: JobSpec) -> str:
+        """Stable content hash identifying one job."""
+        canonical = json.dumps(job.key_payload(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+
+    def load(self, job: JobSpec) -> Optional[Dict[str, Any]]:
+        """Return the cached result payload for ``job``, or ``None``.
+
+        A present entry whose salt does not match the current code
+        version is *invalidated*: counted, deleted, and reported as a
+        miss so the caller recomputes it.
+        """
+        path = self._path(self.key(job))
+        try:
+            document = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            # Unreadable/corrupt entry: drop it and recompute.
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        if document.get("salt") != self.salt:
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            path.unlink(missing_ok=True)
+            return None
+        self.stats.hits += 1
+        return document["result"]
+
+    def store(self, job: JobSpec, result: Dict[str, Any]) -> None:
+        """Persist one job's result payload (atomic rename)."""
+        key = self.key(job)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {"salt": self.salt, "job": job.key_payload(),
+                    "result": result}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(document))
+        tmp.replace(path)
+        self.stats.stores += 1
+
+    # ------------------------------------------------------------------
+
+    def clear(self) -> int:
+        """Delete every entry under the root; returns entries removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.json"))

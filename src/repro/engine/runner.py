@@ -1,0 +1,264 @@
+"""The parallel sweep engine.
+
+:class:`SweepRunner` turns a :class:`~repro.engine.spec.SweepSpec` into
+results: it expands the spec into jobs, serves completed jobs from the
+:class:`~repro.engine.cache.ResultCache`, fans the misses out across a
+``concurrent.futures.ProcessPoolExecutor`` worker pool (``fork`` start
+method; serial in-process execution for ``jobs=1`` or platforms without
+``fork``), and aggregates results **in spec order** regardless of
+completion order. Results cross the process boundary and the cache as
+JSON-stable ``to_dict()`` payloads, so serial, parallel, and cached runs
+of the same spec are bit-identical.
+
+Every run produces a :class:`SweepReport`: jobs run vs. served from
+cache, invalidations, wall seconds, and the slowest job — the summary
+the CLIs print after each sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.engine.cache import ResultCache
+from repro.engine.spec import JobSpec, SweepSpec, workload_label
+
+#: Result types a job can produce (SimulationResult or
+#: TableOccupancyProfile; both expose ``to_dict``/``from_dict``).
+JobResult = Any
+
+ProgressFn = Callable[[str], None]
+
+
+def _execute_job(job: JobSpec) -> Tuple[Dict[str, Any], float]:
+    """Run one job and return ``(result payload, seconds)``.
+
+    Module-level so the process pool can pickle it; imports are local so
+    forked workers pay them only when first used.
+    """
+    from repro.engine.spec import build_for_job
+
+    start = time.perf_counter()
+    workload = build_for_job(job.workload, job.config)
+    if job.kind == "occupancy":
+        from repro.analysis.occupancy import profile_table_occupancy
+        result = profile_table_occupancy(workload, job.config)
+    else:
+        from repro.gpu.sim import Simulator
+        result = Simulator(job.config, job.protocol,
+                           scheduler=job.scheduler).run(workload)
+    return result.to_dict(), time.perf_counter() - start
+
+
+def _reconstruct(job: JobSpec, payload: Dict[str, Any]) -> JobResult:
+    """Rebuild a job's typed result from its payload."""
+    if job.kind == "occupancy":
+        from repro.analysis.occupancy import TableOccupancyProfile
+        return TableOccupancyProfile.from_dict(payload)
+    from repro.gpu.sim import Simulator  # noqa: F401  (import cycle guard)
+    from repro.gpu.sim import SimulationResult
+    return SimulationResult.from_dict(payload)
+
+
+def _fork_available() -> bool:
+    """Whether the platform supports the ``fork`` start method."""
+    import multiprocessing
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+@dataclass
+class JobOutcome:
+    """One completed cell: the job, its result, and how it was served."""
+
+    job: JobSpec
+    result: JobResult
+    cached: bool
+    seconds: float = 0.0
+
+    @property
+    def workload(self) -> str:
+        """Result-keying workload name."""
+        return workload_label(self.job.workload)
+
+
+@dataclass
+class SweepReport:
+    """Execution summary of one sweep."""
+
+    total_jobs: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_invalidations: int = 0
+    wall_seconds: float = 0.0
+    workers: int = 1
+    parallel: bool = False
+    slowest_label: str = ""
+    slowest_seconds: float = 0.0
+
+    def summary(self) -> str:
+        """One-line report the CLIs print after a sweep."""
+        mode = (f"{self.workers} workers" if self.parallel else "serial")
+        line = (f"{self.total_jobs} jobs: {self.cache_hits} cache hits, "
+                f"{self.executed} run ({mode}), "
+                f"{self.cache_invalidations} invalidated; "
+                f"wall {self.wall_seconds:.2f}s")
+        if self.slowest_label:
+            line += (f"; slowest {self.slowest_label} "
+                     f"({self.slowest_seconds:.2f}s)")
+        return line
+
+
+@dataclass
+class SweepResult:
+    """All outcomes of one sweep, in spec (expansion) order."""
+
+    spec: SweepSpec
+    outcomes: List[JobOutcome] = field(default_factory=list)
+    report: SweepReport = field(default_factory=SweepReport)
+
+    @property
+    def results(self) -> List[JobResult]:
+        """Bare results in spec order."""
+        return [outcome.result for outcome in self.outcomes]
+
+    def get(self, workload: str, protocol: str,
+            num_chiplets: Optional[int] = None) -> JobResult:
+        """Fetch one cell by workload label / protocol (/ chiplets)."""
+        for outcome in self.outcomes:
+            if (outcome.workload == workload
+                    and outcome.job.protocol == protocol
+                    and (num_chiplets is None
+                         or outcome.job.config.num_chiplets == num_chiplets)):
+                return outcome.result
+        raise KeyError((workload, protocol, num_chiplets))
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """``to_dict()`` of every result, in spec order (determinism
+        checks compare these across ``jobs`` settings)."""
+        return [outcome.result.to_dict() for outcome in self.outcomes]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value (``None``/``0``/negative -> #CPUs)."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+class SweepRunner:
+    """Expands, caches, fans out, and deterministically aggregates."""
+
+    def __init__(self, jobs: int = 1,
+                 cache: Union[bool, ResultCache, None] = False,
+                 cache_dir: "os.PathLike[str] | str | None" = None,
+                 progress: Optional[ProgressFn] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        if isinstance(cache, ResultCache):
+            self.cache: Optional[ResultCache] = cache
+        elif cache:
+            self.cache = ResultCache(root=cache_dir)
+        else:
+            self.cache = None
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+
+    def _emit(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def run(self, spec: SweepSpec) -> SweepResult:
+        """Execute every cell of ``spec`` and aggregate in spec order."""
+        start = time.perf_counter()
+        jobs = spec.expand()
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+        cache_before = (self.cache.stats.snapshot()
+                        if self.cache is not None else None)
+
+        # Serve whatever the cache already holds.
+        pending: List[int] = []
+        for index, job in enumerate(jobs):
+            payload = (self.cache.load(job)
+                       if self.cache is not None else None)
+            if payload is None:
+                pending.append(index)
+            else:
+                outcomes[index] = JobOutcome(
+                    job=job, result=_reconstruct(job, payload), cached=True)
+        if self.cache is not None and len(pending) < len(jobs):
+            self._emit(f"cache: {len(jobs) - len(pending)}/{len(jobs)} "
+                       "jobs already done")
+
+        parallel = (self.jobs > 1 and len(pending) > 1 and _fork_available())
+        if pending:
+            if parallel:
+                self._run_parallel(jobs, pending, outcomes)
+            else:
+                self._run_serial(jobs, pending, outcomes)
+
+        done = [outcome for outcome in outcomes if outcome is not None]
+        assert len(done) == len(jobs)
+        report = self._report(done, parallel, cache_before,
+                              time.perf_counter() - start)
+        self._emit(f"sweep done: {report.summary()}")
+        return SweepResult(spec=spec, outcomes=done, report=report)
+
+    # ------------------------------------------------------------------
+
+    def _finish(self, job: JobSpec, payload: Dict[str, Any],
+                seconds: float, done: int, total: int) -> JobOutcome:
+        if self.cache is not None:
+            self.cache.store(job, payload)
+        self._emit(f"[{done}/{total}] {job.label} ({seconds:.2f}s)")
+        return JobOutcome(job=job, result=_reconstruct(job, payload),
+                          cached=False, seconds=seconds)
+
+    def _run_serial(self, jobs: List[JobSpec], pending: List[int],
+                    outcomes: List[Optional[JobOutcome]]) -> None:
+        for done, index in enumerate(pending, start=1):
+            payload, seconds = _execute_job(jobs[index])
+            outcomes[index] = self._finish(jobs[index], payload, seconds,
+                                           done, len(pending))
+
+    def _run_parallel(self, jobs: List[JobSpec], pending: List[int],
+                      outcomes: List[Optional[JobOutcome]]) -> None:
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            futures = {pool.submit(_execute_job, jobs[index]): index
+                       for index in pending}
+            for done, future in enumerate(as_completed(futures), start=1):
+                index = futures[future]
+                payload, seconds = future.result()
+                outcomes[index] = self._finish(jobs[index], payload,
+                                               seconds, done, len(pending))
+
+    # ------------------------------------------------------------------
+
+    def _report(self, outcomes: List[JobOutcome], parallel: bool,
+                cache_before, wall_seconds: float) -> SweepReport:
+        executed = [o for o in outcomes if not o.cached]
+        slowest = max(executed, key=lambda o: o.seconds, default=None)
+        invalidations = 0
+        if self.cache is not None and cache_before is not None:
+            invalidations = self.cache.stats.since(cache_before).invalidations
+        return SweepReport(
+            total_jobs=len(outcomes),
+            executed=len(executed),
+            cache_hits=len(outcomes) - len(executed),
+            cache_invalidations=invalidations,
+            wall_seconds=wall_seconds,
+            workers=self.jobs if parallel else 1,
+            parallel=parallel,
+            slowest_label=slowest.job.label if slowest else "",
+            slowest_seconds=slowest.seconds if slowest else 0.0,
+        )

@@ -1,0 +1,155 @@
+"""Declarative sweep specifications and their expansion into jobs.
+
+A sweep is the unit of work behind every figure/table: the cartesian
+product of workloads x protocols x configurations (x scheduler), each
+cell one independent simulation. :class:`SweepSpec` describes the
+product declaratively; :meth:`SweepSpec.expand` flattens it into an
+ordered list of :class:`JobSpec`\\ s. The expansion order is the sweep's
+canonical result order — the runner aggregates results in this order no
+matter which worker finishes first, so parallel runs are bit-identical
+to serial ones.
+
+Workloads are referenced by *spec*, not by object, so jobs stay picklable
+across worker processes and hashable for the result cache:
+
+* a plain registry name (``"square"``) builds via
+  :func:`repro.workloads.suite.build_workload`;
+* ``("multistream", name, num_streams)`` builds the Sec. VI concurrent-job
+  variant via :func:`repro.experiments.multistream.make_multistream`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.gpu.config import GPUConfig
+from repro.workloads.base import Workload
+
+#: Default simulation scale for sweeps (1/32 of Table I capacities).
+DEFAULT_SCALE = 1 / 32
+
+#: The paper's three evaluated configurations.
+DEFAULT_PROTOCOLS = ("baseline", "hmg", "cpelide")
+
+#: A workload reference: registry name or special-builder tuple.
+WorkloadSpec = Union[str, Tuple[Any, ...]]
+
+#: Job kinds the engine knows how to execute.
+JOB_KINDS = ("simulate", "occupancy")
+
+
+def workload_label(spec: WorkloadSpec) -> str:
+    """Human-readable (and result-keying) name of a workload spec."""
+    if isinstance(spec, str):
+        return spec
+    kind = spec[0]
+    if kind == "multistream":
+        return f"{spec[1]}-ms{spec[2]}"
+    raise ValueError(f"unknown workload spec {spec!r}")
+
+
+def build_for_job(spec: WorkloadSpec, config: GPUConfig) -> Workload:
+    """Materialize a workload spec (runs inside worker processes)."""
+    if isinstance(spec, str):
+        from repro.workloads.suite import build_workload
+        return build_workload(spec, config)
+    kind = spec[0]
+    if kind == "multistream":
+        from repro.experiments.multistream import make_multistream
+        return make_multistream(spec[1], config, int(spec[2]))
+    raise ValueError(f"unknown workload spec {spec!r}")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One cell of a sweep: everything needed to (re)run one simulation."""
+
+    workload: WorkloadSpec
+    protocol: str
+    config: GPUConfig
+    scheduler: str = "static"
+    kind: str = "simulate"
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(
+                f"kind must be one of {JOB_KINDS}, got {self.kind!r}")
+        if not isinstance(self.protocol, str):
+            raise TypeError(
+                "JobSpec.protocol must be a registry name (callable "
+                "protocol factories are not picklable/cacheable); got "
+                f"{self.protocol!r}")
+
+    @property
+    def label(self) -> str:
+        """Short display label, e.g. ``square/cpelide@4``."""
+        return (f"{workload_label(self.workload)}/{self.protocol}"
+                f"@{self.config.num_chiplets}")
+
+    def key_payload(self) -> Dict[str, Any]:
+        """Canonical JSON-able identity of this job (drives the cache
+        key): workload spec, protocol, scheduler, kind, and every
+        :class:`GPUConfig` field."""
+        workload = (self.workload if isinstance(self.workload, str)
+                    else list(self.workload))
+        return {
+            "kind": self.kind,
+            "workload": workload,
+            "protocol": self.protocol,
+            "scheduler": self.scheduler,
+            "config": dataclasses.asdict(self.config),
+        }
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A declarative sweep: workloads x protocols x configs."""
+
+    workloads: Tuple[WorkloadSpec, ...]
+    protocols: Tuple[str, ...] = DEFAULT_PROTOCOLS
+    configs: Tuple[GPUConfig, ...] = (GPUConfig(num_chiplets=4,
+                                                scale=DEFAULT_SCALE),)
+    scheduler: str = "static"
+    kind: str = "simulate"
+
+    @classmethod
+    def grid(cls, workloads: Optional[Sequence[WorkloadSpec]] = None,
+             protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+             chiplet_counts: Sequence[int] = (4,),
+             scale: float = DEFAULT_SCALE,
+             scheduler: str = "static",
+             base_config: Optional[GPUConfig] = None,
+             kind: str = "simulate") -> "SweepSpec":
+        """Build a spec from the common (chiplet_counts, scale) grid.
+
+        ``workloads=None`` selects all 24 Table II applications.
+        ``base_config`` carries any other :class:`GPUConfig` overrides.
+        """
+        if workloads is None:
+            from repro.workloads.suite import WORKLOAD_NAMES
+            workloads = tuple(WORKLOAD_NAMES)
+        base = base_config or GPUConfig(scale=scale)
+        configs = tuple(
+            dataclasses.replace(base, num_chiplets=n, scale=scale)
+            for n in chiplet_counts)
+        return cls(workloads=tuple(workloads), protocols=tuple(protocols),
+                   configs=configs, scheduler=scheduler, kind=kind)
+
+    @property
+    def num_jobs(self) -> int:
+        """Cells in the product."""
+        return len(self.workloads) * len(self.protocols) * len(self.configs)
+
+    def expand(self) -> List[JobSpec]:
+        """Flatten into jobs in canonical order: configs (outer) ->
+        workloads -> protocols (inner), mirroring the historical
+        ``run_matrix`` loop nest."""
+        return [
+            JobSpec(workload=workload, protocol=protocol, config=config,
+                    scheduler=self.scheduler, kind=self.kind)
+            for config in self.configs
+            for workload in self.workloads
+            for protocol in self.protocols
+        ]

@@ -4,6 +4,7 @@ Examples:
 
     python -m repro.experiments fig2
     python -m repro.experiments fig8 --chiplets 4 --scale 0.03125
+    python -m repro.experiments fig8 --jobs 4   # parallel; cached on re-run
     python -m repro.experiments all
 """
 
@@ -32,26 +33,40 @@ from repro.experiments import (
     table3,
 )
 
+def _engine_kwargs(args) -> dict:
+    """``--jobs``/``--no-cache`` threaded to the engine-backed sweeps.
+
+    Progress (including each sweep's jobs-run / cache-hit / wall-seconds
+    summary line) prints as the sweep executes.
+    """
+    return {"jobs": args.jobs, "cache": not args.no_cache,
+            "progress": print}
+
+
 EXPERIMENTS = {
     "table1": lambda args: table1.report(table1.run()),
     "table2": lambda args: reuse.report(reuse.run(scale=args.scale)),
     "table3": lambda args: table3.report(table3.run()),
     "fig2": lambda args: fig2.report(fig2.run(scale=args.scale)),
     "fig8": lambda args: fig8.report(
-        fig8.run(chiplet_counts=args.chiplets, scale=args.scale)),
-    "fig9": lambda args: fig9.report(fig9.run(scale=args.scale)),
-    "fig10": lambda args: fig10.report(fig10.run(scale=args.scale)),
-    "scaling": lambda args: scaling.report(scaling.run(scale=args.scale)),
+        fig8.run(chiplet_counts=args.chiplets, scale=args.scale,
+                 **_engine_kwargs(args))),
+    "fig9": lambda args: fig9.report(
+        fig9.run(scale=args.scale, **_engine_kwargs(args))),
+    "fig10": lambda args: fig10.report(
+        fig10.run(scale=args.scale, **_engine_kwargs(args))),
+    "scaling": lambda args: scaling.report(
+        scaling.run(scale=args.scale, **_engine_kwargs(args))),
     "multistream": lambda args: multistream.report(
-        multistream.run(scale=args.scale)),
+        multistream.run(scale=args.scale, **_engine_kwargs(args))),
     "hmg-wb": lambda args: hmg_writeback.report(
-        hmg_writeback.run(scale=args.scale)),
+        hmg_writeback.run(scale=args.scale, **_engine_kwargs(args))),
     "range-flush": lambda args: range_flush.report(
-        range_flush.run(scale=args.scale)),
+        range_flush.run(scale=args.scale, **_engine_kwargs(args))),
     "occupancy": lambda args: occupancy.report(
-        occupancy.run(scale=args.scale)),
+        occupancy.run(scale=args.scale, **_engine_kwargs(args))),
     "driver-sync": lambda args: driver_sync.report(
-        driver_sync.run(scale=args.scale)),
+        driver_sync.run(scale=args.scale, **_engine_kwargs(args))),
     "scheduler": lambda args: scheduler_ablation.report(
         scheduler_ablation.run(scale=args.scale)),
     "capacity": lambda args: capacity.report(
@@ -74,6 +89,11 @@ def main(argv=None) -> int:
     parser.add_argument("--chiplets", type=int, nargs="+",
                         default=[2, 4, 6, 7],
                         help="chiplet counts for fig8 (default 2 4 6 7)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes per sweep "
+                             "(1 = serial, 0 = one per CPU)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk result cache")
     args = parser.parse_args(argv)
 
     selected = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -55,10 +55,12 @@ class Fig10Result:
 
 def run(workloads: Optional[Sequence[str]] = None,
         scale: float = DEFAULT_SCALE,
-        num_chiplets: int = 4) -> Fig10Result:
+        num_chiplets: int = 4, jobs: int = 1,
+        cache: bool = False, progress=None) -> Fig10Result:
     """Run the Fig. 10 sweep (4 chiplets)."""
     matrix = run_matrix(workloads=workloads, protocols=PROTOCOLS,
-                        chiplet_counts=(num_chiplets,), scale=scale)
+                        chiplet_counts=(num_chiplets,), scale=scale,
+                        jobs=jobs, cache=cache, progress=progress)
     traffic: Dict[str, Dict[str, Dict[str, int]]] = {}
     for name in matrix.workloads():
         traffic[name] = {}

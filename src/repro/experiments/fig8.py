@@ -37,11 +37,14 @@ class Fig8Result:
 
 def run(workloads: Optional[Sequence[str]] = None,
         chiplet_counts: Sequence[int] = CHIPLET_COUNTS,
-        scale: float = DEFAULT_SCALE) -> Fig8Result:
-    """Run the full Fig. 8 sweep."""
+        scale: float = DEFAULT_SCALE, jobs: int = 1,
+        cache: bool = False, progress=None) -> Fig8Result:
+    """Run the full Fig. 8 sweep (through the engine; ``jobs``/``cache``
+    come from the CLI's ``--jobs``/``--no-cache``)."""
     matrix = run_matrix(workloads=workloads,
                         protocols=("baseline", "hmg", "cpelide"),
-                        chiplet_counts=chiplet_counts, scale=scale)
+                        chiplet_counts=chiplet_counts, scale=scale,
+                        jobs=jobs, cache=cache, progress=progress)
     return Fig8Result(matrix=matrix, chiplet_counts=tuple(chiplet_counts))
 
 

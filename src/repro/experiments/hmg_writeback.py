@@ -39,11 +39,13 @@ class HMGWritebackResult:
 
 def run(workloads: Optional[Sequence[str]] = None,
         scale: float = DEFAULT_SCALE,
-        num_chiplets: int = 4) -> HMGWritebackResult:
+        num_chiplets: int = 4, jobs: int = 1,
+        cache: bool = False, progress=None) -> HMGWritebackResult:
     """Compare HMG write-through against HMG write-back."""
     names = list(workloads) if workloads is not None else list(DEFAULT_WORKLOADS)
     matrix = run_matrix(workloads=names, protocols=("hmg", "hmg-wb"),
-                        chiplet_counts=(num_chiplets,), scale=scale)
+                        chiplet_counts=(num_chiplets,), scale=scale,
+                        jobs=jobs, cache=cache, progress=progress)
     cycles: Dict[str, Dict[str, float]] = {}
     for name in names:
         cycles[name] = {

@@ -18,7 +18,6 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.runner import DEFAULT_SCALE
 from repro.gpu.config import GPUConfig
-from repro.gpu.sim import Simulator
 from repro.memory.address import AddressSpace
 from repro.metrics.report import format_table, geomean
 from repro.workloads.base import Kernel, Workload
@@ -78,28 +77,33 @@ class MultiStreamResult:
 def run(workloads: Optional[Sequence[str]] = None,
         scale: float = DEFAULT_SCALE, num_streams: int = 2,
         num_chiplets: int = 4,
-        include_streams_bench: bool = True) -> MultiStreamResult:
+        include_streams_bench: bool = True, jobs: int = 1,
+        cache: bool = False, progress=None) -> MultiStreamResult:
     """Run the multi-stream comparison.
 
     Includes gem5-resources' natively multi-stream ``streams`` benchmark
     (the one existing multi-stream GPU benchmark, Sec. VI) alongside the
-    two-job variants of the Table II subset.
+    two-job variants of the Table II subset. The multi-stream variants
+    enter the sweep engine as ``("multistream", name, num_streams)``
+    workload specs, so they parallelize and cache like any other cell.
     """
+    from repro.api import sweep
+    from repro.engine.spec import WorkloadSpec
+
     names = list(workloads) if workloads is not None else list(DEFAULT_WORKLOADS)
-    config = GPUConfig(num_chiplets=num_chiplets, scale=scale)
-    cycles: Dict[str, Dict[str, float]] = {}
+    specs: List[WorkloadSpec] = []
     if include_streams_bench:
-        cycles["streams"] = {}
-        for protocol in PROTOCOLS:
-            workload = build_workload("streams", config)
-            cycles["streams"][protocol] = Simulator(config, protocol).run(
-                workload).wall_cycles
-    for name in names:
-        cycles[name] = {}
-        for protocol in PROTOCOLS:
-            workload = make_multistream(name, config, num_streams)
-            cycles[name][protocol] = Simulator(config, protocol).run(
-                workload).wall_cycles
+        specs.append("streams")
+    specs.extend(("multistream", name, num_streams) for name in names)
+    result = sweep(workloads=specs, protocols=PROTOCOLS,
+                   chiplet_counts=(num_chiplets,), scale=scale,
+                   jobs=jobs, cache=cache, progress=progress)
+    cycles: Dict[str, Dict[str, float]] = {}
+    for outcome in result.outcomes:
+        label = ("streams" if outcome.workload == "streams"
+                 else outcome.workload[:-len(f"-ms{num_streams}")])
+        cycles.setdefault(label, {})[outcome.job.protocol] = \
+            outcome.result.wall_cycles
     return MultiStreamResult(cycles=cycles)
 
 

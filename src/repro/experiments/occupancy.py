@@ -11,18 +11,28 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.occupancy import TableOccupancyProfile, profile_suite
+from repro.analysis.occupancy import TableOccupancyProfile
+from repro.engine.runner import SweepRunner
+from repro.engine.spec import SweepSpec
 from repro.experiments.runner import DEFAULT_SCALE
-from repro.gpu.config import GPUConfig
 from repro.metrics.report import format_table
 
 
 def run(workloads: Optional[Sequence[str]] = None,
         scale: float = DEFAULT_SCALE,
-        num_chiplets: int = 4) -> Dict[str, TableOccupancyProfile]:
-    """Profile table occupancy for every (or the given) workload."""
-    config = GPUConfig(num_chiplets=num_chiplets, scale=scale)
-    return profile_suite(config, list(workloads) if workloads else None)
+        num_chiplets: int = 4, jobs: int = 1,
+        cache: bool = False, progress=None) -> Dict[str, TableOccupancyProfile]:
+    """Profile table occupancy for every (or the given) workload.
+
+    Runs ``kind="occupancy"`` jobs through the sweep engine (the protocol
+    axis is collapsed to CPElide — occupancy is a property of the elision
+    engine replay, not of the comparator protocols).
+    """
+    spec = SweepSpec.grid(workloads=workloads, protocols=("cpelide",),
+                          chiplet_counts=(num_chiplets,), scale=scale,
+                          kind="occupancy")
+    sweep = SweepRunner(jobs=jobs, cache=cache, progress=progress).run(spec)
+    return {outcome.workload: outcome.result for outcome in sweep.outcomes}
 
 
 def report(profiles: Dict[str, TableOccupancyProfile]) -> str:

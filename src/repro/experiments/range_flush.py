@@ -41,12 +41,14 @@ class RangeFlushResult:
 
 def run(workloads: Optional[Sequence[str]] = None,
         scale: float = DEFAULT_SCALE,
-        num_chiplets: int = 4) -> RangeFlushResult:
+        num_chiplets: int = 4, jobs: int = 1,
+        cache: bool = False, progress=None) -> RangeFlushResult:
     """Compare whole-cache CPElide against the range extension."""
     names = list(workloads) if workloads is not None else list(DEFAULT_WORKLOADS)
     matrix = run_matrix(workloads=names,
                         protocols=("cpelide", "cpelide-range"),
-                        chiplet_counts=(num_chiplets,), scale=scale)
+                        chiplet_counts=(num_chiplets,), scale=scale,
+                        jobs=jobs, cache=cache, progress=progress)
     cycles: Dict[str, Dict[str, float]] = {}
     lines: Dict[str, Dict[str, int]] = {}
     for name in names:

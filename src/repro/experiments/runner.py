@@ -1,17 +1,21 @@
-"""Shared experiment execution: (workload x protocol x chiplets) sweeps."""
+"""Shared experiment execution: (workload x protocol x chiplets) sweeps.
+
+Since the engine landed, every sweep here is expanded, cached, and
+(optionally) parallelized by :class:`repro.engine.SweepRunner`; the
+figure/table harnesses keep their historical :class:`MatrixResult` shape
+on top of it. ``jobs``/``cache`` thread through from the CLIs' ``--jobs``
+and ``--no-cache`` flags.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.runner import ProgressFn, SweepReport, SweepRunner
+from repro.engine.spec import DEFAULT_SCALE, SweepSpec
 from repro.gpu.config import GPUConfig
-from repro.gpu.sim import SimulationResult, Simulator
-from repro.workloads.suite import WORKLOAD_NAMES, build_workload
-
-#: Default simulation scale for experiments (1/32 of Table I capacities;
-#: workload footprints shrink by the same factor).
-DEFAULT_SCALE = 1 / 32
+from repro.gpu.sim import SimulationResult
 
 #: Chiplet counts evaluated in Fig. 8 (Sec. IV-E: ROCm memory-aperture
 #: constraints cap the paper's sweep at 7 chiplets).
@@ -26,6 +30,8 @@ class MatrixResult:
     #: (workload, protocol, num_chiplets) -> simulation result.
     cells: Dict[Tuple[str, str, int], SimulationResult] = field(
         default_factory=dict)
+    #: Execution summary of the engine sweep that produced the cells.
+    report: Optional[SweepReport] = None
 
     def get(self, workload: str, protocol: str,
             num_chiplets: int) -> SimulationResult:
@@ -50,24 +56,35 @@ class MatrixResult:
 
 
 def run_one(workload: str, protocol: str, num_chiplets: int = 4,
-            scale: float = DEFAULT_SCALE) -> SimulationResult:
+            scale: float = DEFAULT_SCALE, *,
+            cache: bool = False) -> SimulationResult:
     """Run one (workload, protocol, chiplet-count) cell."""
+    from repro.api import simulate
     config = GPUConfig(num_chiplets=num_chiplets, scale=scale)
-    return Simulator(config, protocol).run(build_workload(workload, config))
+    return simulate(workload, protocol, config=config, cache=cache)
 
 
 def run_matrix(workloads: Optional[Sequence[str]] = None,
                protocols: Sequence[str] = ("baseline", "hmg", "cpelide"),
                chiplet_counts: Sequence[int] = (4,),
-               scale: float = DEFAULT_SCALE) -> MatrixResult:
-    """Run a full sweep. Defaults to all 24 workloads on 4 chiplets."""
-    names = list(workloads) if workloads is not None else list(WORKLOAD_NAMES)
-    result = MatrixResult(scale=scale)
-    for num_chiplets in chiplet_counts:
-        config = GPUConfig(num_chiplets=num_chiplets, scale=scale)
-        for name in names:
-            for protocol in protocols:
-                workload = build_workload(name, config)
-                sim = Simulator(config, protocol)
-                result.cells[(name, protocol, num_chiplets)] = sim.run(workload)
+               scale: float = DEFAULT_SCALE,
+               scheduler: str = "static",
+               jobs: int = 1,
+               cache: bool = False,
+               progress: Optional[ProgressFn] = None) -> MatrixResult:
+    """Run a full sweep through the engine.
+
+    Defaults to all 24 workloads on 4 chiplets, serially and uncached
+    (the benchmark suite must measure real simulations); the experiment
+    CLIs pass ``jobs``/``cache`` from their flags.
+    """
+    spec = SweepSpec.grid(workloads=workloads, protocols=protocols,
+                          chiplet_counts=chiplet_counts, scale=scale,
+                          scheduler=scheduler)
+    sweep = SweepRunner(jobs=jobs, cache=cache, progress=progress).run(spec)
+    result = MatrixResult(scale=scale, report=sweep.report)
+    for outcome in sweep.outcomes:
+        key = (outcome.workload, outcome.job.protocol,
+               outcome.job.config.num_chiplets)
+        result.cells[key] = outcome.result
     return result

@@ -18,10 +18,7 @@ from repro.cp.local_cp import SyncOp
 from repro.cp.packets import KernelPacket
 from repro.cp.wg_scheduler import Placement
 from repro.experiments.runner import DEFAULT_SCALE
-from repro.gpu.config import GPUConfig
-from repro.gpu.sim import Simulator
 from repro.metrics.report import format_table, geomean
-from repro.workloads.suite import build_workload
 
 #: Extra acquire/release sets -> chiplet count they mimic.
 MIMICKED = {1: 8, 3: 16}
@@ -73,7 +70,8 @@ class ScalingResult:
 
 
 def run(workloads: Optional[Sequence[str]] = None,
-        scale: float = DEFAULT_SCALE) -> ScalingResult:
+        scale: float = DEFAULT_SCALE, jobs: int = 1,
+        cache: bool = False, progress=None) -> ScalingResult:
     """Run the mimicked 8/16-chiplet study on a 4-chiplet base.
 
     The paper's mimic *serializes* the additional chiplets' sets of
@@ -83,13 +81,19 @@ def run(workloads: Optional[Sequence[str]] = None,
     through the caches is free — flushes are idempotent — so the overhead
     is accounted on the measured sync service time, which is also how the
     study is conservative: a real larger system would overlap the sets.)
+
+    The measured 4-chiplet CPElide runs go through the sweep engine
+    (parallel/cached); the mimicked overheads are analytic on top.
     """
+    from repro.api import sweep
+
     names = list(workloads) if workloads is not None else list(DEFAULT_WORKLOADS)
-    config = GPUConfig(num_chiplets=4, scale=scale)
+    measured = sweep(workloads=names, protocols=("cpelide",),
+                     chiplet_counts=(4,), scale=scale,
+                     jobs=jobs, cache=cache, progress=progress)
     slowdowns: Dict[str, Dict[int, float]] = {}
     for name in names:
-        result = Simulator(config, "cpelide").run(
-            build_workload(name, config))
+        result = measured.get(name, "cpelide")
         base = result.wall_cycles
         sync = result.metrics.total_sync_service_cycles
         slowdowns[name] = {}

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.coherence.base import CoherenceProtocol, make_protocol
 from repro.cp.driver import GPUDriver
@@ -55,11 +55,40 @@ class SimulationResult:
         return self.wall_cycles
 
     def summary(self) -> Dict[str, float]:
-        """Scalar summary for the experiment harnesses."""
+        """Scalar summary for the experiment harnesses.
+
+        Every value is a plain JSON-serializable ``float``/``int``.
+        """
         out = self.metrics.summary()
-        out["wall_cycles"] = self.wall_cycles
-        out["energy_total"] = self.energy["total"]
+        out["wall_cycles"] = float(self.wall_cycles)
+        out["energy_total"] = float(self.energy["total"])
         return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-serializable dump of the result.
+
+        ``SimulationResult.from_dict(json.loads(json.dumps(r.to_dict())))``
+        reproduces ``r`` bit-for-bit — the engine's result cache and its
+        worker-process transport both rely on this round trip.
+        """
+        return {
+            "protocol": self.protocol,
+            "num_chiplets": int(self.num_chiplets),
+            "wall_cycles": float(self.wall_cycles),
+            "energy": {k: float(v) for k, v in self.energy.items()},
+            "metrics": self.metrics.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            metrics=RunMetrics.from_dict(data["metrics"]),
+            energy={k: float(v) for k, v in data["energy"].items()},
+            wall_cycles=float(data["wall_cycles"]),
+            protocol=data["protocol"],
+            num_chiplets=int(data["num_chiplets"]),
+        )
 
 
 class Simulator:

@@ -96,6 +96,27 @@ class TrafficMeter:
         return {"l1_l2": self.l1_l2, "l2_l3": self.l2_l3,
                 "remote": self.remote, "total": self.total}
 
+    def to_dict(self) -> Dict[str, int]:
+        """Lossless JSON-serializable dump (components + flit params)."""
+        return {
+            "l1_l2": int(self.l1_l2),
+            "l2_l3": int(self.l2_l3),
+            "remote": int(self.remote),
+            "flit_bytes": int(self.params.flit_bytes),
+            "line_size": int(self.params.line_size),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "TrafficMeter":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            params=FlitParams(flit_bytes=int(data["flit_bytes"]),
+                              line_size=int(data["line_size"])),
+            l1_l2=int(data["l1_l2"]),
+            l2_l3=int(data["l2_l3"]),
+            remote=int(data["remote"]),
+        )
+
     def merge(self, other: "TrafficMeter") -> None:
         """Accumulate ``other`` into ``self``."""
         self.l1_l2 += other.l1_l2

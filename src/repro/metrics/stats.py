@@ -8,7 +8,7 @@ model, Fig. 10 from the traffic meters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from repro.interconnect.noc import TrafficMeter
 
@@ -71,6 +71,15 @@ class AccessCounts:
         """All DRAM line accesses."""
         return self.dram_reads + self.dram_writes
 
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-serializable field dump (counter fields only)."""
+        return {f.name: int(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "AccessCounts":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**{k: int(v) for k, v in data.items()})
+
 
 @dataclass
 class SyncCounts:
@@ -96,6 +105,15 @@ class SyncCounts:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-serializable field dump."""
+        return {f.name: int(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "SyncCounts":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(**{k: int(v) for k, v in data.items()})
+
 
 @dataclass
 class KernelMetrics:
@@ -115,6 +133,39 @@ class KernelMetrics:
     sync: SyncCounts = field(default_factory=SyncCounts)
     traffic: TrafficMeter = field(default_factory=TrafficMeter)
     chiplets_used: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dump of one kernel's measurements."""
+        return {
+            "kernel_name": self.kernel_name,
+            "kernel_index": int(self.kernel_index),
+            "cycles": float(self.cycles),
+            "compute_cycles": float(self.compute_cycles),
+            "memory_cycles": float(self.memory_cycles),
+            "sync_cycles": float(self.sync_cycles),
+            "cp_overhead_cycles": float(self.cp_overhead_cycles),
+            "accesses": self.accesses.to_dict(),
+            "sync": self.sync.to_dict(),
+            "traffic": self.traffic.to_dict(),
+            "chiplets_used": int(self.chiplets_used),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "KernelMetrics":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            kernel_name=data["kernel_name"],
+            kernel_index=int(data["kernel_index"]),
+            cycles=float(data["cycles"]),
+            compute_cycles=float(data["compute_cycles"]),
+            memory_cycles=float(data["memory_cycles"]),
+            sync_cycles=float(data["sync_cycles"]),
+            cp_overhead_cycles=float(data["cp_overhead_cycles"]),
+            accesses=AccessCounts.from_dict(data["accesses"]),
+            sync=SyncCounts.from_dict(data["sync"]),
+            traffic=TrafficMeter.from_dict(data["traffic"]),
+            chiplets_used=int(data["chiplets_used"]),
+        )
 
 
 @dataclass
@@ -180,18 +231,43 @@ class RunMetrics:
         return model.breakdown(self.total_accesses(), self.total_traffic())
 
     def summary(self) -> Dict[str, float]:
-        """Compact scalar summary used by the experiment harnesses."""
+        """Compact scalar summary used by the experiment harnesses.
+
+        Every value is a plain Python ``float``/``int`` so the summary can
+        be serialized with :mod:`json` as-is (the engine's result cache
+        relies on this).
+        """
         acc = self.total_accesses()
         sync = self.total_sync()
         traffic = self.total_traffic()
         return {
-            "cycles": self.total_cycles,
-            "sync_cycles": self.total_sync_cycles,
-            "kernels": float(self.num_kernels),
-            "l2_miss_rate": acc.l2_miss_rate,
-            "dram_accesses": float(acc.dram_accesses),
-            "traffic_flits": float(traffic.total),
-            "remote_flits": float(traffic.remote),
-            "acquires_elided": float(sync.acquires_elided),
-            "releases_elided": float(sync.releases_elided),
+            "cycles": float(self.total_cycles),
+            "sync_cycles": float(self.total_sync_cycles),
+            "kernels": int(self.num_kernels),
+            "l2_miss_rate": float(acc.l2_miss_rate),
+            "dram_accesses": int(acc.dram_accesses),
+            "traffic_flits": int(traffic.total),
+            "remote_flits": int(traffic.remote),
+            "acquires_elided": int(sync.acquires_elided),
+            "releases_elided": int(sync.releases_elided),
         }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dump of the whole run (one entry per
+        dynamic kernel), losslessly restored by :meth:`from_dict`."""
+        return {
+            "workload": self.workload,
+            "protocol": self.protocol,
+            "num_chiplets": int(self.num_chiplets),
+            "kernels": [k.to_dict() for k in self.kernels],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunMetrics":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            workload=data["workload"],
+            protocol=data["protocol"],
+            num_chiplets=int(data["num_chiplets"]),
+            kernels=[KernelMetrics.from_dict(k) for k in data["kernels"]],
+        )

@@ -13,6 +13,13 @@ from repro.workloads.base import AccessKind, Kernel, KernelArg, PatternKind, Wor
 TEST_SCALE = 1 / 64
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep every test's result cache in a private tmp dir — tests must
+    never read or populate the user's ``~/.cache`` sweep cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def config() -> GPUConfig:
     """A 4-chiplet test-scale configuration."""

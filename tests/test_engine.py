@@ -1,0 +1,198 @@
+"""The sweep engine: spec expansion, caching, and deterministic results."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.occupancy import TableOccupancyProfile
+from repro.engine.cache import CacheStats, ResultCache, code_version_salt
+from repro.engine.runner import SweepRunner, resolve_jobs
+from repro.engine.spec import JobSpec, SweepSpec, workload_label
+from repro.gpu.config import GPUConfig
+from repro.gpu.sim import SimulationResult, Simulator
+from repro.workloads.suite import build_workload
+
+from tests.conftest import TEST_SCALE
+
+WORKLOADS = ("square", "babelstream", "bfs")
+PROTOCOLS = ("baseline", "cpelide")
+
+
+def small_spec(workloads=WORKLOADS, protocols=PROTOCOLS,
+               chiplet_counts=(4,), **kwargs) -> SweepSpec:
+    return SweepSpec.grid(workloads=workloads, protocols=protocols,
+                          chiplet_counts=chiplet_counts, scale=TEST_SCALE,
+                          **kwargs)
+
+
+class TestSpec:
+    def test_expand_order_is_configs_workloads_protocols(self):
+        spec = small_spec(workloads=("square", "babelstream"), chiplet_counts=(2, 4))
+        labels = [job.label for job in spec.expand()]
+        assert labels == [
+            "square/baseline@2", "square/cpelide@2",
+            "babelstream/baseline@2", "babelstream/cpelide@2",
+            "square/baseline@4", "square/cpelide@4",
+            "babelstream/baseline@4", "babelstream/cpelide@4",
+        ]
+        assert spec.num_jobs == len(labels)
+
+    def test_workload_label(self):
+        assert workload_label("square") == "square"
+        assert workload_label(("multistream", "square", 2)) == "square-ms2"
+
+    def test_jobspec_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            JobSpec(workload="square", protocol="cpelide",
+                    config=GPUConfig(scale=TEST_SCALE), kind="profile")
+
+    def test_jobspec_rejects_non_string_protocol(self):
+        with pytest.raises(TypeError):
+            JobSpec(workload="square", protocol=object(),
+                    config=GPUConfig(scale=TEST_SCALE))
+
+    def test_key_payload_is_json_stable(self):
+        job = JobSpec(workload="square", protocol="cpelide",
+                      config=GPUConfig(num_chiplets=4, scale=TEST_SCALE))
+        payload = job.key_payload()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["config"]["num_chiplets"] == 4
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        """ISSUE acceptance: 3 workloads x 2 protocols, jobs=1 vs jobs=4
+        produce byte-identical ``to_dict()`` payloads in the same order."""
+        spec = small_spec()
+        serial = SweepRunner(jobs=1).run(spec)
+        parallel = SweepRunner(jobs=4).run(spec)
+        assert serial.to_dicts() == parallel.to_dicts()
+        assert [o.job.label for o in serial.outcomes] == \
+            [o.job.label for o in parallel.outcomes]
+
+    def test_cached_matches_uncached_bit_for_bit(self, tmp_path):
+        spec = small_spec(workloads=("square",))
+        cache = ResultCache(root=tmp_path / "c")
+        first = SweepRunner(jobs=1, cache=cache).run(spec)
+        second = SweepRunner(jobs=1, cache=cache).run(spec)
+        assert first.to_dicts() == second.to_dicts()
+
+    def test_results_in_spec_order_regardless_of_completion(self):
+        spec = small_spec(workloads=("square", "babelstream"))
+        result = SweepRunner(jobs=4).run(spec)
+        expected = [job.label for job in spec.expand()]
+        assert [o.job.label for o in result.outcomes] == expected
+
+
+class TestCache:
+    def test_second_run_all_hits_without_invoking_simulator(
+            self, tmp_path, monkeypatch):
+        """ISSUE acceptance: re-running a sweep is served 100% from cache
+        with zero simulator invocations."""
+        spec = small_spec()
+        cache_dir = tmp_path / "cache"
+        first = SweepRunner(jobs=1, cache=True, cache_dir=cache_dir).run(spec)
+        assert first.report.executed == spec.num_jobs
+        assert first.report.cache_hits == 0
+
+        def boom(self, workload):
+            raise AssertionError("Simulator.run called on a cached sweep")
+
+        monkeypatch.setattr(Simulator, "run", boom)
+        second = SweepRunner(jobs=1, cache=True, cache_dir=cache_dir).run(spec)
+        assert second.report.cache_hits == spec.num_jobs
+        assert second.report.executed == 0
+        assert second.to_dicts() == first.to_dicts()
+        assert all(o.cached for o in second.outcomes)
+
+    def test_salt_change_invalidates(self, tmp_path):
+        spec = small_spec(workloads=("square",), protocols=("cpelide",))
+        old = ResultCache(root=tmp_path / "c", salt="old-code-version")
+        SweepRunner(jobs=1, cache=old).run(spec)
+        assert len(old) == 1
+
+        new = ResultCache(root=tmp_path / "c", salt="new-code-version")
+        result = SweepRunner(jobs=1, cache=new).run(spec)
+        assert result.report.cache_invalidations == 1
+        assert result.report.executed == 1
+        # The stale entry was replaced: a third run under the new salt hits.
+        again = SweepRunner(jobs=1, cache=new).run(spec)
+        assert again.report.cache_hits == 1
+
+    def test_corrupt_entry_is_invalidated(self, tmp_path):
+        spec = small_spec(workloads=("square",), protocols=("cpelide",))
+        cache = ResultCache(root=tmp_path / "c")
+        SweepRunner(jobs=1, cache=cache).run(spec)
+        [path] = list((tmp_path / "c").rglob("*.json"))
+        path.write_text("{not json")
+        result = SweepRunner(jobs=1, cache=cache).run(spec)
+        assert result.report.cache_invalidations == 1
+        assert result.report.executed == 1
+
+    def test_cache_stats_accounting(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "c")
+        job = small_spec(workloads=("square",),
+                         protocols=("cpelide",)).expand()[0]
+        assert cache.load(job) is None
+        assert cache.stats.misses == 1
+        cache.store(job, {"fake": 1})
+        assert cache.stats.stores == 1
+        assert cache.load(job) == {"fake": 1}
+        assert cache.stats.hits == 1
+        delta = cache.stats.since(CacheStats())
+        assert (delta.hits, delta.misses, delta.stores) == (1, 1, 1)
+
+    def test_key_ignores_salt_but_depends_on_config(self, tmp_path):
+        a = ResultCache(root=tmp_path / "c", salt="a")
+        b = ResultCache(root=tmp_path / "c", salt="b")
+        spec4 = small_spec(workloads=("square",), protocols=("cpelide",))
+        spec2 = small_spec(workloads=("square",), protocols=("cpelide",),
+                           chiplet_counts=(2,))
+        job4, job2 = spec4.expand()[0], spec2.expand()[0]
+        assert a.key(job4) == b.key(job4)
+        assert a.key(job4) != a.key(job2)
+
+    def test_code_version_salt_is_stable(self):
+        assert code_version_salt() == code_version_salt()
+        assert len(code_version_salt()) == 16
+
+
+class TestSerialization:
+    def test_simulation_result_json_roundtrip(self, config):
+        result = Simulator(config, "cpelide").run(
+            build_workload("square", config))
+        payload = json.loads(json.dumps(result.to_dict()))
+        rebuilt = SimulationResult.from_dict(payload)
+        assert rebuilt.to_dict() == result.to_dict()
+        assert rebuilt.wall_cycles == result.wall_cycles
+        assert rebuilt.metrics.total_traffic().total == \
+            result.metrics.total_traffic().total
+
+    def test_summary_is_plain_json_scalars(self, config):
+        result = Simulator(config, "cpelide").run(
+            build_workload("square", config))
+        for summary in (result.summary(), result.metrics.summary()):
+            for key, value in summary.items():
+                assert type(value) in (str, int, float), (key, value)
+            assert json.loads(json.dumps(summary)) == summary
+
+
+class TestOccupancyJobs:
+    def test_occupancy_kind_runs_and_caches(self, tmp_path):
+        spec = small_spec(workloads=("square", "bfs"),
+                          protocols=("cpelide",), kind="occupancy")
+        cache_dir = tmp_path / "cache"
+        first = SweepRunner(jobs=1, cache=True, cache_dir=cache_dir).run(spec)
+        assert all(isinstance(o.result, TableOccupancyProfile)
+                   for o in first.outcomes)
+        second = SweepRunner(jobs=1, cache=True, cache_dir=cache_dir).run(spec)
+        assert second.report.cache_hits == spec.num_jobs
+        assert second.to_dicts() == first.to_dicts()
