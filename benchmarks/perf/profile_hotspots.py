@@ -1,0 +1,61 @@
+"""Profile one (workload, protocol, trace-path) cell and print hotspots.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/profile_hotspots.py \
+        [--workload babelstream] [--protocol cpelide] \
+        [--trace-path run] [--scale 0.25] [--chiplets 4] [--reps 3]
+
+Prints the top 20 functions by cumulative and by internal time. This is
+the tool the batched-path optimization work was driven by; keep it next
+to the benchmark so a perf regression found by ``python -m repro bench``
+can be localized without any extra setup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="babelstream")
+    parser.add_argument("--protocol", default="cpelide")
+    parser.add_argument("--trace-path", default="run",
+                        choices=("line", "run"))
+    parser.add_argument("--scale", type=float, default=1 / 4)
+    parser.add_argument("--chiplets", type=int, default=4)
+    parser.add_argument("--reps", type=int, default=3,
+                        help="simulations to profile (default 3)")
+    parser.add_argument("--top", type=int, default=20)
+    args = parser.parse_args()
+
+    from repro.gpu.config import GPUConfig
+    from repro.gpu.sim import Simulator
+    from repro.workloads.suite import build_workload
+
+    config = GPUConfig(num_chiplets=args.chiplets, scale=args.scale)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(args.reps):
+        sim = Simulator(config, protocol=args.protocol,
+                        trace_path=args.trace_path)
+        sim.run(build_workload(args.workload, config))
+    profiler.disable()
+
+    for sort in ("cumtime", "tottime"):
+        out = io.StringIO()
+        stats = pstats.Stats(profiler, stream=out)
+        stats.sort_stats(sort).print_stats(args.top)
+        print(f"==== top {args.top} by {sort} "
+              f"({args.workload}/{args.protocol}, "
+              f"trace_path={args.trace_path}, scale={args.scale:g}) ====")
+        print(out.getvalue())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,9 @@ Subcommands:
 * ``trace <workload>`` — print the sync-operation trace (which
   acquires/releases fired, and why).
 * ``occupancy [<workload> ...]`` — Chiplet Coherence Table occupancy.
+* ``bench`` — time the batched run-based trace path against the
+  per-line reference on the partitioned sweep and write
+  ``BENCH_trace.json``.
 
 ``run`` and ``occupancy`` execute through the sweep engine: ``--jobs N``
 fans simulations out over worker processes, and completed cells are
@@ -32,8 +35,13 @@ from repro.metrics.report import format_table
 from repro.workloads.suite import EXTRA_WORKLOADS, WORKLOAD_NAMES, build_workload
 
 
+#: Global default for ``--scale`` when a subcommand has no better one.
+DEFAULT_SCALE = 1 / 32
+
+
 def _config(args) -> GPUConfig:
-    return GPUConfig(num_chiplets=args.chiplets, scale=args.scale)
+    scale = DEFAULT_SCALE if args.scale is None else args.scale
+    return GPUConfig(num_chiplets=args.chiplets, scale=scale)
 
 
 def _progress(message: str) -> None:
@@ -117,10 +125,36 @@ def cmd_trace(args) -> int:
 
 def cmd_occupancy(args) -> int:
     profiles = occupancy_experiment.run(
-        workloads=args.workloads or None, scale=args.scale,
+        workloads=args.workloads or None,
+        scale=DEFAULT_SCALE if args.scale is None else args.scale,
         num_chiplets=args.chiplets, jobs=args.jobs,
         cache=not args.no_cache, progress=_progress)
     print(occupancy_experiment.report(profiles))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro import bench
+
+    if args.scale is not None:
+        scale = args.scale
+    else:
+        scale = bench.QUICK_SCALE if args.quick else bench.FULL_SCALE
+    repeats = args.repeats
+    if repeats is None:
+        repeats = 2 if args.quick else 3
+    _progress(f"benchmarking trace paths at scale {scale:g} "
+              f"({args.chiplets} chiplets, best of {repeats})")
+    report = bench.run_bench(scale=scale, chiplets=args.chiplets,
+                             repeats=repeats, progress=_progress)
+    bench.write_report(report, args.out)
+    print(bench.summarize(report))
+    _progress(f"wrote {args.out}")
+    speedup = report["aggregate"]["speedup"]
+    if args.check and speedup < args.min_speedup:
+        _progress(f"FAIL: aggregate speedup {speedup:.2f}x is below the "
+                  f"--min-speedup floor {args.min_speedup:g}x")
+        return 1
     return 0
 
 
@@ -129,8 +163,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="CPElide reproduction: simulate chiplet-GPU workloads.")
-    parser.add_argument("--scale", type=float, default=1 / 32,
-                        help="simulation scale (default 1/32)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="simulation scale (default 1/32; bench "
+                             "defaults to 1/4, or 1/16 with --quick)")
     parser.add_argument("--chiplets", type=int, default=4,
                         help="chiplet count (default 4)")
     parser.add_argument("--jobs", type=int, default=1,
@@ -159,9 +194,26 @@ def main(argv=None) -> int:
     occ_p.add_argument("workloads", nargs="*",
                        help="workload subset (default: all 24)")
 
+    bench_p = sub.add_parser(
+        "bench", help="time the batched trace path vs the per-line path")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="smaller scale and fewer repeats (CI smoke)")
+    bench_p.add_argument("--check", action="store_true",
+                         help="exit nonzero if the batched path's aggregate "
+                              "speedup is below --min-speedup")
+    bench_p.add_argument("--min-speedup", type=float, default=1.0,
+                         help="speedup floor for --check (default 1.0: "
+                              "fail only if the batched path is slower)")
+    bench_p.add_argument("--repeats", type=int, default=None,
+                         help="timing repetitions per cell, best kept "
+                              "(default 3, or 2 with --quick)")
+    bench_p.add_argument("--out", default="benchmarks/perf/BENCH_trace.json",
+                         help="report path "
+                              "(default benchmarks/perf/BENCH_trace.json)")
+
     args = parser.parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "trace": cmd_trace,
-                "occupancy": cmd_occupancy}
+                "occupancy": cmd_occupancy, "bench": cmd_bench}
     return handlers[args.command](args)
 
 

@@ -1,0 +1,166 @@
+"""Throughput benchmark: batched run-based trace path vs per-line path.
+
+The run-based trace path (``trace_path="run"``) replaces the simulator's
+per-line protocol walk with interval (``LineRun``) traces served by bulk
+cache/protocol operations. It is required to be *bit-identical* to the
+per-line reference — ``tests/test_batched_equivalence.py`` is the
+referee — so its only observable difference is wall-clock time. This
+module measures that difference and emits a machine-readable report
+(``benchmarks/perf/BENCH_trace.json``).
+
+Sweep composition: the **partitioned sweep** — every Table II workload
+whose kernels access *only* ``PatternKind.PARTITIONED`` data structures
+(the regular GPGPU case the batched path targets) with moderate-to-high
+inter-kernel reuse, plus the multi-stream ``streams`` benchmark, under
+the paper's protocol (``cpelide``) and its elision upper bound
+(``nosync``), on 4 chiplets, single process (``jobs=1``).
+
+Methodology: each (workload, protocol) cell simulates both trace paths
+``repeats`` times in interleaved order (to decorrelate machine-load
+drift) and keeps the fastest wall time of each. Every repetition also
+re-asserts bit-identity of ``SimulationResult.to_dict()`` between the
+two paths, so a benchmark run doubles as an end-to-end equivalence
+check.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.sim import Simulator
+from repro.workloads.suite import build_workload
+
+#: Table II workloads whose every kernel argument is PARTITIONED and that
+#: have moderate-to-high inter-kernel reuse, plus the multi-stream
+#: ``streams`` benchmark (also pure-partitioned).
+PARTITIONED_SWEEP: List[str] = [
+    "babelstream", "backprop", "gaussian", "lud", "square", "streams",
+]
+
+#: The paper's protocol and its sync-elision upper bound.
+BENCH_PROTOCOLS: List[str] = ["cpelide", "nosync"]
+
+#: Default simulation scales: the full bench uses larger caches (longer
+#: runs amortize per-set framing, matching the regime the paper targets);
+#: ``--quick`` trades fidelity for CI latency.
+FULL_SCALE = 1 / 4
+QUICK_SCALE = 1 / 16
+
+
+class EquivalenceError(AssertionError):
+    """The two trace paths produced different simulation results."""
+
+
+def _time_cell(config: GPUConfig, workload_name: str, protocol: str,
+               trace_path: str) -> Tuple[float, int, dict]:
+    """Simulate one cell; return (wall seconds, trace lines, result dict)."""
+    sim = Simulator(config, protocol=protocol, trace_path=trace_path)
+    workload = build_workload(workload_name, config)
+    t0 = time.perf_counter()
+    result = sim.run(workload)
+    dt = time.perf_counter() - t0
+    return dt, sim.last_trace_lines, result.to_dict()
+
+
+def run_bench(scale: float = FULL_SCALE, chiplets: int = 4,
+              repeats: int = 3,
+              workloads: Optional[Sequence[str]] = None,
+              protocols: Optional[Sequence[str]] = None,
+              progress: Optional[Callable[[str], None]] = None) -> Dict:
+    """Run the line-vs-run sweep and return the report dictionary."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    workloads = list(workloads) if workloads else list(PARTITIONED_SWEEP)
+    protocols = list(protocols) if protocols else list(BENCH_PROTOCOLS)
+    config = GPUConfig(num_chiplets=chiplets, scale=scale)
+    cells: List[Dict] = []
+    agg_line = agg_run = 0.0
+    agg_lines = 0
+    for protocol in protocols:
+        for workload in workloads:
+            line_best = run_best = float("inf")
+            lines = 0
+            for rep in range(repeats):
+                dt_l, n_l, d_l = _time_cell(config, workload, protocol,
+                                            "line")
+                dt_r, n_r, d_r = _time_cell(config, workload, protocol,
+                                            "run")
+                if d_l != d_r or n_l != n_r:
+                    raise EquivalenceError(
+                        f"trace paths diverged: {workload}/{protocol} "
+                        f"(scale {scale:g}, rep {rep})")
+                line_best = min(line_best, dt_l)
+                run_best = min(run_best, dt_r)
+                lines = n_l
+            cells.append({
+                "workload": workload,
+                "protocol": protocol,
+                "lines": lines,
+                "line_seconds": round(line_best, 6),
+                "run_seconds": round(run_best, 6),
+                "speedup": round(line_best / run_best, 3),
+                "line_lines_per_sec": round(lines / line_best, 1),
+                "run_lines_per_sec": round(lines / run_best, 1),
+                "identical": True,
+            })
+            agg_line += line_best
+            agg_run += run_best
+            agg_lines += lines
+            if progress is not None:
+                progress(f"  {workload}/{protocol}: line {line_best:.3f}s, "
+                         f"run {run_best:.3f}s "
+                         f"({line_best / run_best:.1f}x)")
+    report = {
+        "benchmark": "batched run-based trace path vs per-line trace path",
+        "sweep": "partitioned" if workloads == PARTITIONED_SWEEP else "custom",
+        "meta": {
+            "scale": scale,
+            "chiplets": chiplets,
+            "repeats": repeats,
+            "jobs": 1,
+            "workloads": workloads,
+            "protocols": protocols,
+            "python": platform.python_version(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+        "cells": cells,
+        "aggregate": {
+            "lines": agg_lines,
+            "line_seconds": round(agg_line, 6),
+            "run_seconds": round(agg_run, 6),
+            "speedup": round(agg_line / agg_run, 3),
+            "line_lines_per_sec": round(agg_lines / agg_line, 1),
+            "run_lines_per_sec": round(agg_lines / agg_run, 1),
+        },
+    }
+    return report
+
+
+def write_report(report: Dict, path: str) -> None:
+    """Write ``report`` as pretty-printed JSON to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def summarize(report: Dict) -> str:
+    """Human-readable summary of a bench report."""
+    rows = []
+    for cell in report["cells"]:
+        rows.append(f"  {cell['workload']:<12s} {cell['protocol']:<8s} "
+                    f"line {cell['line_seconds']:7.3f}s  "
+                    f"run {cell['run_seconds']:7.3f}s  "
+                    f"{cell['speedup']:5.1f}x")
+    agg = report["aggregate"]
+    meta = report["meta"]
+    rows.append(
+        f"aggregate (scale {meta['scale']:g}, {meta['chiplets']} chiplets, "
+        f"best of {meta['repeats']}): "
+        f"line {agg['line_seconds']:.2f}s, run {agg['run_seconds']:.2f}s "
+        f"-> {agg['speedup']:.2f}x "
+        f"({agg['run_lines_per_sec']:,.0f} lines/sec batched)")
+    return "\n".join(rows)

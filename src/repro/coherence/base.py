@@ -65,6 +65,36 @@ class CoherenceProtocol(abc.ABC):
     def access(self, chiplet: int, line: int, is_write: bool) -> None:
         """Route one L2-visible demand access from ``chiplet``."""
 
+    def access_run(self, chiplet: int, start: int, count: int,
+                   do_load: bool, do_store: bool) -> int:
+        """Route a run of ``count`` consecutive distinct-line accesses.
+
+        Semantically identical to, per line in ascending order: an
+        ``access(chiplet, line, False)`` if ``do_load`` then an
+        ``access(chiplet, line, True)`` if ``do_store``. Returns how many
+        of the run's lines ended up homed at ``chiplet`` (the simulator's
+        L1-repeat split needs the local share, and the run path already
+        knows the homes). This default is that reference loop; protocols
+        override it with bulk fast paths that must stay bit-identical
+        (tests/test_batched_equivalence.py is the referee).
+        """
+        access = self.access
+        peek = self.device.home_map.peek_home_of_line
+        local = 0
+        if do_load and do_store:
+            for line in range(start, start + count):
+                access(chiplet, line, False)
+                access(chiplet, line, True)
+                if peek(line) == chiplet:
+                    local += 1
+        else:
+            is_write = do_store
+            for line in range(start, start + count):
+                access(chiplet, line, is_write)
+                if peek(line) == chiplet:
+                    local += 1
+        return local
+
     # ---- overheads ---------------------------------------------------------
 
     def launch_overhead_cycles(self, packet: KernelPacket) -> float:

@@ -4,6 +4,13 @@ CPElide does not modify the underlying coherence protocol (Sec. III-A): it
 keeps Baseline's forwarding and write policies and only changes *when and
 where* the implicit acquires and releases happen, as decided by the
 elision engine over the Chiplet Coherence Table housed in the global CP.
+
+That inheritance covers the demand path wholesale: both the per-line
+``access`` and the batched ``access_run`` fast path (and the bulk sync-op
+execution underneath ``on_kernel_launch``/``complete``'s acquire/release
+ops) come straight from :class:`~repro.coherence.viper.BaselineProtocol`
+and the device, so CPElide runs at full run-trace speed with no code of
+its own.
 """
 
 from __future__ import annotations

@@ -149,6 +149,50 @@ class HMGProtocol(CoherenceProtocol):
         else:
             self._load(chiplet, line, home)
 
+    def access_run(self, chiplet: int, start: int, count: int,
+                   do_load: bool, do_store: bool) -> int:
+        """Bulk path: a fully-resident load run is one aggregate L2 hit
+        sweep (the hit path touches neither home nor directory), and
+        everything else replays per line with the page-home lookups
+        hoisted and the L1 traffic batched — bit-identical to the
+        per-line sweep either way. Returns the number of lines homed at
+        ``chiplet``.
+        """
+        device = self.device
+        ops = count * (2 if do_load and do_store else 1)
+        device.traffic.l1_request(ops)
+        device.traffic.l1_data(ops)
+        end = start + count
+        home_map = device.home_map
+        if not do_store:
+            l2 = device.l2s[chiplet]
+            if l2.run_fully_resident(start, count):
+                # First-touch pages are still claimed in walk order.
+                local = sum(s_end - s_start
+                            for s_start, s_end, home
+                            in home_map.home_segments(start, end, chiplet)
+                            if home == chiplet)
+                res = l2.access_run(start, count, do_load=True,
+                                    do_store=False)
+                device.counts[chiplet].l2_local_hits += res.hits
+                return local
+        local = 0
+        for seg_start, seg_end, home in home_map.home_segments(start, end,
+                                                               chiplet):
+            if home == chiplet:
+                local += seg_end - seg_start
+            if do_load and do_store:
+                for line in range(seg_start, seg_end):
+                    self._load(chiplet, line, home)
+                    self._store(chiplet, line, home)
+            elif do_store:
+                for line in range(seg_start, seg_end):
+                    self._store(chiplet, line, home)
+            else:
+                for line in range(seg_start, seg_end):
+                    self._load(chiplet, line, home)
+        return local
+
     # ---- loads -------------------------------------------------------------
 
     def _load(self, chiplet: int, line: int, home: int) -> None:

@@ -94,6 +94,99 @@ class BaselineProtocol(CoherenceProtocol):
         if evicted is not None and evicted.dirty:
             device.writeback_line(home, evicted.line)
 
+    # ---- bulk (run) access path ------------------------------------------
+
+    def access_run(self, chiplet: int, start: int, count: int,
+                   do_load: bool, do_store: bool) -> int:
+        """Per-run fast path: split on page homes, then go through the
+        bulk cache/L3 operations segment-wise. Bit-identical to the
+        per-line :meth:`access` sweep (the differential tests enforce
+        it); only the order-insensitive bookkeeping is folded. Returns
+        the number of lines homed at ``chiplet``.
+        """
+        device = self.device
+        segments = device.home_map.home_segments(start, start + count,
+                                                 chiplet)
+        local = 0
+        for seg_start, seg_end, home in segments:
+            n = seg_end - seg_start
+            if home == chiplet:
+                local += n
+                self._local_run(chiplet, seg_start, n, do_load, do_store)
+            elif do_load and do_store:
+                # A remote read-modify-write interleaves a home-L2 read
+                # with an invalidation of the same line; replay per line.
+                for line in range(seg_start, seg_end):
+                    self.access(chiplet, line, is_write=False)
+                    self.access(chiplet, line, is_write=True)
+            elif do_store:
+                self._remote_store_run(chiplet, home, seg_start, n)
+            else:
+                self._remote_load_run(chiplet, home, seg_start, n)
+        return local
+
+    def _local_run(self, chiplet: int, start: int, count: int,
+                   do_load: bool, do_store: bool) -> None:
+        """Home-local segment: bulk L2 access, misses served in order."""
+        device = self.device
+        counts = device.counts[chiplet]
+        ops = count * (2 if do_load and do_store else 1)
+        device.traffic.l1_request(ops)
+        device.traffic.l1_data(ops)
+        res = device.l2s[chiplet].access_run(start, count, do_load, do_store)
+        counts.l2_local_hits += res.hits
+        counts.l2_local_misses += res.misses
+        if do_load and do_store:
+            # The store following each load hits the just-filled line.
+            counts.l2_local_hits += count
+        if res.uniform_miss:
+            device.fetch_run_from_l3(chiplet, start, count)
+        elif res.events:
+            device.serve_l2_miss_events(chiplet, chiplet, res.events)
+
+    def _remote_load_run(self, chiplet: int, home: int, start: int,
+                         count: int) -> None:
+        """Remote read segment: bulk access at the home L2, requester-
+        attributed counts, home-attributed victim writebacks."""
+        device = self.device
+        counts = device.counts[chiplet]
+        device.traffic.l1_request(count)
+        device.traffic.l1_data(count)
+        device.traffic.remote_request(count)
+        device.traffic.remote_data(count)
+        res = device.l2s[home].access_run(start, count, do_load=True,
+                                          do_store=False)
+        counts.l2_remote_hits += res.hits
+        counts.l2_remote_misses += res.misses
+        if res.uniform_miss:
+            device.fetch_run_from_l3(chiplet, start, count)
+        elif res.events:
+            device.serve_l2_miss_events(chiplet, home, res.events)
+
+    def _remote_store_run(self, chiplet: int, home: int, start: int,
+                          count: int) -> None:
+        """Remote store segment: bulk invalidation at the home L2 plus a
+        bulk L3 write-through; a dirty home copy (the SC-for-HRF race)
+        forces the exact per-line L3 op order instead."""
+        device = self.device
+        counts = device.counts[chiplet]
+        device.traffic.l1_request(count)
+        device.traffic.l1_data(count)
+        device.traffic.remote_request(count)
+        device.traffic.remote_data(count)
+        dropped, dirty = device.l2s[home].invalidate_run(start, count)
+        counts.l2_remote_hits += dropped
+        counts.l2_remote_misses += count - dropped
+        counts.l2_writethroughs += count
+        if dirty:
+            dirty_set = set(dirty)
+            for line in range(start, start + count):
+                if line in dirty_set:
+                    device.writeback_line(home, line)
+                device.l3_write(chiplet, line)
+        else:
+            device.l3_write_run(chiplet, start, count)
+
 
 class NoSyncProtocol(BaselineProtocol):
     """Baseline data path with implicit synchronization disabled.

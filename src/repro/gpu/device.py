@@ -155,6 +155,108 @@ class Device:
         return home if home is not None else 0
 
     # ------------------------------------------------------------------
+    # Bulk (run) L3 / DRAM paths
+    #
+    # Bit-exact batched forms of the per-line helpers above, used by the
+    # protocols' `access_run` fast paths. Each replays the same L3
+    # operations in the same order a per-line sweep would issue them;
+    # only the Python-level looping and traffic-counter arithmetic are
+    # folded.
+    # ------------------------------------------------------------------
+
+    def serve_l2_miss_events(self, requester: int, wb_chiplet: int,
+                             events) -> None:
+        """Serve an ordered L2 miss/victim event stream from the L3.
+
+        ``events`` is a :class:`~repro.memory.cache.RunResult` event list:
+        ``(line, victim_line, victim_dirty)`` per missing line, ascending.
+        For each event this performs exactly what the per-line path does:
+        a :meth:`fetch_from_l3` for the missing line (attributed to
+        ``requester``) followed, if the victim was dirty, by a
+        :meth:`writeback_line` attributed to ``wb_chiplet`` (the chiplet
+        whose L2 evicted — the requester for local accesses, the home
+        node for remote reads).
+        """
+        counts = self.counts[requester]
+        missed, access_devs, fill_devs, writebacks = (
+            self.l3.serve_miss_seq(events))
+        counts.l3_hits += len(events) - len(missed)
+        counts.l3_misses += len(missed)
+        counts.dram_reads += len(missed)
+        if missed:
+            for stack, n in self.home_map.home_histogram(missed).items():
+                self.dram.record_read(stack, n)
+        if access_devs:
+            counts.dram_writes += len(access_devs)
+            for stack, n in self.home_map.home_histogram(access_devs).items():
+                self.dram.record_write(stack, n)
+        if fill_devs:
+            self.counts[wb_chiplet].dram_writes += len(fill_devs)
+            for stack, n in self.home_map.home_histogram(fill_devs).items():
+                self.dram.record_write(stack, n)
+        self.traffic.l2_request(len(events))
+        self.traffic.l2_data(len(events) + writebacks)
+
+    def fetch_run_from_l3(self, requester: int, start: int,
+                          count: int) -> None:
+        """Serve ``count`` consecutive L2 refills from the L3 in bulk.
+
+        Only valid when the caller knows every line in the run missed the
+        L2 with no victim writebacks interleaved (a ``uniform_miss`` run
+        result) — then the L3 sees the plain ascending run and can itself
+        be accessed in bulk; below the L3 only order-free DRAM counters
+        remain.
+        """
+        counts = self.counts[requester]
+        self.traffic.l2_request(count)
+        self.traffic.l2_data(count)
+        res = self.l3.access_run(start, count, do_load=True, do_store=False)
+        counts.l3_hits += res.hits
+        counts.l3_misses += res.misses
+        counts.dram_reads += res.misses
+        if res.uniform_miss:
+            self._record_dram_reads_run(start, count)
+        elif res.events:
+            hist = self.home_map.home_histogram(
+                line for line, _, _ in res.events)
+            for stack, n in hist.items():
+                self.dram.record_read(stack, n)
+            victims = [victim for _, victim, victim_dirty in res.events
+                       if victim_dirty]
+            if victims:
+                counts.dram_writes += len(victims)
+                for stack, n in self.home_map.home_histogram(
+                        victims).items():
+                    self.dram.record_write(stack, n)
+
+    def l3_write_run(self, requester: int, start: int, count: int) -> None:
+        """Bulk form of :meth:`l3_write` (write-through, not to DRAM)
+        over an ascending run of distinct lines."""
+        self.traffic.l2_data(count)
+        res = self.l3.access_run(start, count, do_load=False, do_store=True)
+        if res.events:
+            victims = [victim for _, victim, victim_dirty in res.events
+                       if victim_dirty]
+            if victims:
+                counts = self.counts[requester]
+                counts.dram_writes += len(victims)
+                for stack, n in self.home_map.home_histogram(
+                        victims).items():
+                    self.dram.record_write(stack, n)
+
+    def _record_dram_reads_run(self, start: int, count: int) -> None:
+        """Per-stack DRAM read accounting for a whole run (page-wise:
+        every line of a page shares its home stack)."""
+        lpp = self.home_map.lines_per_page
+        pos = start
+        end = start + count
+        record_read = self.dram.record_read
+        while pos < end:
+            page_end = min(end, (pos // lpp + 1) * lpp)
+            record_read(self._stack_of(pos), page_end - pos)
+            pos = page_end
+
+    # ------------------------------------------------------------------
     # Whole-cache synchronization (implicit acquire / release)
     # ------------------------------------------------------------------
 
@@ -162,8 +264,7 @@ class Device:
         """Implicit release: write back all of ``chiplet``'s dirty L2 lines
         to the L3, retaining clean copies. Returns lines flushed."""
         flushed = self.chiplets[chiplet].l2.flush_dirty()
-        for line in flushed:
-            self.writeback_line(chiplet, line)
+        self._writeback_lines(chiplet, flushed)
         return len(flushed)
 
     def invalidate_l2(self, chiplet: int) -> int:
@@ -171,24 +272,39 @@ class Device:
         lines (if the release was skipped) are written back first for
         safety. Returns lines invalidated."""
         dropped, dirty = self.chiplets[chiplet].l2.invalidate_all()
-        for line in dirty:
-            self.writeback_line(chiplet, line)
+        self._writeback_lines(chiplet, dirty)
         return dropped
+
+    def _writeback_lines(self, chiplet: int, lines: Sequence[int]) -> None:
+        """Absorb a batch of dirty L2 victims into the L3 (same fill
+        order as per-line :meth:`writeback_line` calls; the traffic
+        counter is bumped once in aggregate)."""
+        if not lines:
+            return
+        dirty_victims = [ev.line for ev in self.l3.fill_many(lines, dirty=True)
+                         if ev.dirty]
+        if dirty_victims:
+            self.counts[chiplet].dram_writes += len(dirty_victims)
+            for stack, n in self.home_map.home_histogram(
+                    dirty_victims).items():
+                self.dram.record_write(stack, n)
+        self.traffic.l2_data(len(lines))
 
     def flush_l2_ranges(self, chiplet: int,
                         ranges: Sequence[Tuple[int, int]]) -> int:
         """Range-restricted release (the Sec. VI hardware extension).
 
         The virtual ranges are broken into page-wise requests and
-        translated (Sec. VI), then each page's lines are walked at the L2.
+        translated (Sec. VI), then each page's span is flushed at the L2
+        in one bulk operation.
         """
         l2 = self.chiplets[chiplet].l2
         flushed = 0
         for span in self.translator.translate_ranges(ranges):
-            for line in span.lines():
-                if l2.flush_line(line):
-                    self.writeback_line(chiplet, line)
-                    flushed += 1
+            lines = l2.flush_run(span.first_line,
+                                 span.last_line - span.first_line)
+            self._writeback_lines(chiplet, lines)
+            flushed += len(lines)
         return flushed
 
     def invalidate_l2_ranges(self, chiplet: int,
@@ -197,10 +313,8 @@ class Device:
         l2 = self.chiplets[chiplet].l2
         invalidated = 0
         for span in self.translator.translate_ranges(ranges):
-            for line in span.lines():
-                present, dirty = l2.invalidate_line(line)
-                if dirty:
-                    self.writeback_line(chiplet, line)
-                if present:
-                    invalidated += 1
+            dropped, dirty = l2.invalidate_run(
+                span.first_line, span.last_line - span.first_line)
+            self._writeback_lines(chiplet, dirty)
+            invalidated += dropped
         return invalidated

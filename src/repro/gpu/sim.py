@@ -18,9 +18,10 @@ the run's wall time is the slowest stream's clock.
 
 from __future__ import annotations
 
+import os
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.coherence.base import CoherenceProtocol, make_protocol
 from repro.cp.driver import GPUDriver
@@ -34,9 +35,24 @@ from repro.timing.model import TimingModel
 from repro.workloads.base import (
     AccessKind,
     Kernel,
+    LineRun,
     Workload,
     lines_for_arg,
+    runs_for_arg,
 )
+
+#: Environment variable selecting the trace representation ("line" or
+#: "run") for simulators not given an explicit ``trace_path``. The two
+#: paths produce bit-identical results (tests/test_batched_equivalence.py),
+#: so the switch exists for cross-checking and benchmarking, not output.
+TRACE_PATH_ENV = "REPRO_TRACE_PATH"
+
+#: Trace path used when neither the constructor argument nor the
+#: environment selects one. The run path is the fast one; the line path
+#: is the per-line reference implementation.
+DEFAULT_TRACE_PATH = "run"
+
+_TRACE_PATHS = ("line", "run")
 
 
 @dataclass
@@ -102,14 +118,24 @@ class Simulator:
 
     def __init__(self, config: GPUConfig, protocol="baseline",
                  energy_model: Optional[EnergyModel] = None,
-                 scheduler: str = "static") -> None:
+                 scheduler: str = "static",
+                 trace_path: Optional[str] = None) -> None:
         if scheduler not in ("static", "locality"):
             raise ValueError(
                 f"scheduler must be 'static' or 'locality', got {scheduler!r}")
+        if trace_path is None:
+            trace_path = os.environ.get(TRACE_PATH_ENV, DEFAULT_TRACE_PATH)
+        if trace_path not in _TRACE_PATHS:
+            raise ValueError(
+                f"trace_path must be one of {_TRACE_PATHS}, got {trace_path!r}")
         self.config = config
         self.protocol_name = protocol
         self.scheduler = scheduler
+        self.trace_path = trace_path
         self.energy_model = energy_model or EnergyModel()
+        #: Trace lines swept by the most recent :meth:`run` (all kernels);
+        #: the bench harness reads this for its lines/sec figures.
+        self.last_trace_lines = 0
 
     # ------------------------------------------------------------------
 
@@ -134,6 +160,7 @@ class Simulator:
                              protocol=protocol.name,
                              num_chiplets=config.num_chiplets)
         stream_clocks: Dict[int, float] = defaultdict(float)
+        self.last_trace_lines = 0
 
         for kernel in workload.kernels:
             km = self._run_kernel(kernel, driver, device, protocol,
@@ -145,8 +172,13 @@ class Simulator:
                                   len(workload.kernels))
         if finalize is not None:
             metrics.add_kernel(finalize)
-            slowest = max(stream_clocks, key=lambda s: stream_clocks[s])
-            stream_clocks[slowest] += finalize.cycles
+            if stream_clocks:
+                slowest = max(stream_clocks, key=lambda s: stream_clocks[s])
+                stream_clocks[slowest] += finalize.cycles
+            else:
+                # Zero-kernel run (e.g. a workload drained before
+                # simulation): the final release is the only activity.
+                stream_clocks[0] = finalize.cycles
 
         wall = max(stream_clocks.values()) if stream_clocks else 0.0
         energy = self.energy_model.breakdown(metrics.total_accesses(),
@@ -218,29 +250,41 @@ class Simulator:
 
     def _run_trace(self, kernel: Kernel, kernel_id: int, device: Device,
                    protocol: CoherenceProtocol, placement) -> int:
-        """Sweep every argument's lines through the protocol.
+        """Sweep every argument's trace through the protocol.
 
-        Returns the total distinct lines touched (drives compute time).
+        Uses the per-line reference path or the batched run path per
+        :attr:`trace_path`; both produce bit-identical results. Returns
+        the total distinct lines touched (drives compute time).
         """
         total_lines = 0
         caches_remote = protocol.caches_remote_locally
+        batched = self.trace_path == "run"
         for arg in kernel.args:
             kind = arg.effective_kind
             for logical, chiplet in enumerate(placement.chiplets):
-                lines = lines_for_arg(arg, logical, placement.num_chiplets,
-                                      kernel_id)
-                if not lines:
-                    continue
-                total_lines += len(lines)
-                self._run_arg_stream(arg, kind, lines, chiplet, device,
-                                     protocol, caches_remote)
+                if batched:
+                    runs = runs_for_arg(arg, logical,
+                                        placement.num_chiplets, kernel_id)
+                    if not runs:
+                        continue
+                    total_lines += self._run_arg_runs(
+                        arg, kind, runs, chiplet, device, protocol,
+                        caches_remote)
+                else:
+                    lines = lines_for_arg(arg, logical,
+                                          placement.num_chiplets, kernel_id)
+                    if not lines:
+                        continue
+                    total_lines += len(lines)
+                    self._run_arg_stream(arg, kind, lines, chiplet, device,
+                                         protocol, caches_remote)
+        self.last_trace_lines += total_lines
         return total_lines
 
     def _run_arg_stream(self, arg, kind: AccessKind, lines: List[int],
                         chiplet: int, device: Device,
                         protocol: CoherenceProtocol,
                         caches_remote: bool) -> None:
-        counts = device.counts[chiplet]
         do_load = kind in (AccessKind.LOAD, AccessKind.LOAD_STORE)
         do_store = kind in (AccessKind.STORE, AccessKind.LOAD_STORE)
 
@@ -253,10 +297,53 @@ class Simulator:
             if device.home_map.peek_home_of_line(line) == chiplet:
                 local_lines += 1
 
-        # Statistical L1 over the load stream: first touches reached the
-        # L2 above; surviving repeat touches are L2 hits by construction.
+        self._account_l1(arg, do_load, do_store, len(lines), local_lines,
+                         chiplet, device, caches_remote)
+
+    def _run_arg_runs(self, arg, kind: AccessKind, runs: Sequence[LineRun],
+                      chiplet: int, device: Device,
+                      protocol: CoherenceProtocol,
+                      caches_remote: bool) -> int:
+        """Batched equivalent of :meth:`_run_arg_stream` over interval
+        runs. Returns the trace length (for the caller's line total)."""
+        do_load = kind in (AccessKind.LOAD, AccessKind.LOAD_STORE)
+        do_store = kind in (AccessKind.STORE, AccessKind.LOAD_STORE)
+        access = protocol.access
+        access_run = protocol.access_run
+        peek = device.home_map.peek_home_of_line
+        total = 0
+        local_lines = 0
+        for run in runs:
+            n = run.count
+            total += n
+            if n == 1:
+                # Singleton runs (random patterns) skip the bulk framing.
+                line = run.start
+                if do_load:
+                    access(chiplet, line, is_write=False)
+                if do_store:
+                    access(chiplet, line, is_write=True)
+                if peek(line) == chiplet:
+                    local_lines += 1
+            else:
+                # The protocol resolved every page home on the way
+                # through; reuse its local-line count for the L1 split.
+                local_lines += access_run(chiplet, run.start, n,
+                                          do_load, do_store)
+
+        self._account_l1(arg, do_load, do_store, total, local_lines,
+                         chiplet, device, caches_remote)
+        return total
+
+    def _account_l1(self, arg, do_load: bool, do_store: bool,
+                    num_lines: int, local_lines: int, chiplet: int,
+                    device: Device, caches_remote: bool) -> None:
+        """Statistical L1 over the swept stream: first touches reached the
+        L2 in the caller; surviving repeat touches are L2 hits by
+        construction. Shared by the line and run paths."""
+        counts = device.counts[chiplet]
         if do_load:
-            res = device.l1_filter.filter(len(lines), arg.touches)
+            res = device.l1_filter.filter(num_lines, arg.touches)
             counts.l1_accesses += res.l1_accesses
             counts.l1_hits += res.l1_hits
             repeats = res.l2_repeats
@@ -266,7 +353,7 @@ class Simulator:
                 if caches_remote:
                     counts.l2_local_hits += repeats
                 else:
-                    local_share = local_lines / len(lines)
+                    local_share = local_lines / num_lines
                     local_rep = int(round(repeats * local_share))
                     remote_rep = repeats - local_rep
                     counts.l2_local_hits += local_rep
@@ -277,16 +364,28 @@ class Simulator:
         if do_store:
             # Stores are write-through/no-allocate at the L1: every store
             # touches the L1 once on its way out.
-            counts.l1_accesses += len(lines)
+            counts.l1_accesses += num_lines
 
     def _record_lds(self, kernel: Kernel, device: Device, placement,
                     total_lines: int) -> None:
         if kernel.lds_per_line <= 0:
             return
         total_lds = int(round(kernel.lds_per_line * total_lines))
-        for chiplet in placement.chiplets:
-            share = placement.share_of(chiplet)
-            amount = int(round(total_lds * share))
+        # Largest-remainder apportionment: floor every chiplet's share,
+        # then hand the leftover accesses to the largest fractional
+        # remainders (ties to the lower chiplet id) so the recorded
+        # accesses sum exactly to total_lds — independent rounding could
+        # drift by up to half a count per chiplet.
+        shares = [total_lds * placement.share_of(c)
+                  for c in placement.chiplets]
+        amounts = [int(s) for s in shares]
+        leftover = total_lds - sum(amounts)
+        if leftover > 0:
+            by_remainder = sorted(range(len(shares)),
+                                  key=lambda i: (amounts[i] - shares[i], i))
+            for i in by_remainder[:leftover]:
+                amounts[i] += 1
+        for chiplet, amount in zip(placement.chiplets, amounts):
             device.counts[chiplet].lds_accesses += amount
             device.chiplets[chiplet].lds.record(amount)
 

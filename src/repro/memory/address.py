@@ -181,6 +181,8 @@ class HomeMap:
     num_chiplets: int
     lines_per_page: int = LINES_PER_PAGE
     _homes: Dict[int, int] = field(default_factory=dict)
+    _segments_cache: Dict[Tuple[int, int], List[Tuple[int, int, int]]] = (
+        field(default_factory=dict))
 
     def __post_init__(self) -> None:
         if self.lines_per_page <= 0:
@@ -201,6 +203,73 @@ class HomeMap:
     def peek_home_of_line(self, line: int) -> Optional[int]:
         """Return the home chiplet of ``line`` without assigning one."""
         return self._homes.get(line // self.lines_per_page)
+
+    def home_segments(self, start: int, end: int,
+                      toucher: int) -> List[Tuple[int, int, int]]:
+        """Split ``[start, end)`` into maximal same-home segments.
+
+        Returns ``(seg_start, seg_end, home)`` pieces in ascending order,
+        assigning unplaced pages to ``toucher`` — exactly the homes an
+        ascending per-line :meth:`home_of_line` walk would produce, with
+        one dictionary probe per page instead of one per line.
+
+        Page homes are permanent once assigned, so a range whose pages
+        were all already placed has a permanent answer; those are
+        memoized, making the common repeat query (kernels re-touch the
+        same slices every iteration) a single dictionary probe.
+        """
+        if start >= end:
+            return []
+        if not 0 <= toucher < self.num_chiplets:
+            raise ValueError(f"chiplet {toucher} out of range")
+        cached = self._segments_cache.get((start, end))
+        if cached is not None:
+            return cached
+        lpp = self.lines_per_page
+        homes = self._homes
+        first_page = start // lpp
+        last_page = (end - 1) // lpp
+        segs: List[Tuple[int, int, int]] = []
+        assigned = False
+        seg_start = start
+        cur = homes.get(first_page)
+        if cur is None:
+            homes[first_page] = cur = toucher
+            assigned = True
+        for page in range(first_page + 1, last_page + 1):
+            home = homes.get(page)
+            if home is None:
+                homes[page] = home = toucher
+                assigned = True
+            if home != cur:
+                boundary = page * lpp
+                segs.append((seg_start, boundary, cur))
+                seg_start = boundary
+                cur = home
+        segs.append((seg_start, end, cur))
+        if not assigned:
+            self._segments_cache[(start, end)] = segs
+        return segs
+
+    def home_histogram(self, lines, default: int = 0) -> Dict[int, int]:
+        """Count an iterable of lines by home chiplet, without assigning
+        homes (unplaced pages count toward ``default``). Used to batch
+        per-stack DRAM accounting over bulk miss/victim streams."""
+        lpp = self.lines_per_page
+        get = self._homes.get
+        out: Dict[int, int] = {}
+        cur_page = -1
+        cur_home = default
+        for line in lines:
+            page = line // lpp
+            if page != cur_page:
+                # Miss/victim streams are page-local; reuse the last
+                # page's lookup instead of probing per line.
+                cur_page = page
+                home = get(page)
+                cur_home = default if home is None else home
+            out[cur_home] = out.get(cur_home, 0) + 1
+        return out
 
     @property
     def num_placed_pages(self) -> int:

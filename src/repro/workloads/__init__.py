@@ -12,9 +12,11 @@ from repro.workloads.base import (
     AccessKind,
     Kernel,
     KernelArg,
+    LineRun,
     PatternKind,
     Workload,
     lines_for_arg,
+    runs_for_arg,
 )
 from repro.workloads.suite import (
     EXTRA_WORKLOADS,
@@ -28,9 +30,11 @@ __all__ = [
     "AccessKind",
     "Kernel",
     "KernelArg",
+    "LineRun",
     "PatternKind",
     "Workload",
     "lines_for_arg",
+    "runs_for_arg",
     "EXTRA_WORKLOADS",
     "HIGH_REUSE",
     "LOW_REUSE",

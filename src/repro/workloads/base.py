@@ -202,6 +202,98 @@ class Workload:
 # Trace generation
 # ----------------------------------------------------------------------
 
+@dataclass(frozen=True)
+class LineRun:
+    """A maximal interval of consecutive line indices in a trace.
+
+    The run-based trace is the interval form of :func:`lines_for_arg`:
+    flattening an argument's runs in order reproduces the per-line trace
+    exactly (same lines, same order, same duplicates). Contiguous
+    patterns (PARTITIONED / SHARED / STENCIL) compress to 1-3 runs;
+    RANDOM / INDIRECT samples coalesce only where the RNG happened to
+    draw adjacent lines, so they stay mostly per-line.
+    """
+
+    start: int
+    count: int
+
+    @property
+    def end(self) -> int:
+        """One past the last line of the run."""
+        return self.start + self.count
+
+    def lines(self) -> range:
+        """The run's line indices, in trace order."""
+        return range(self.start, self.start + self.count)
+
+
+def _coalesce_lines(lines: Sequence[int]) -> List[LineRun]:
+    """Greedily merge consecutive (+1) indices, preserving trace order."""
+    runs: List[LineRun] = []
+    it = iter(lines)
+    try:
+        start = next(it)
+    except StopIteration:
+        return runs
+    count = 1
+    for line in it:
+        if line == start + count:
+            count += 1
+        else:
+            runs.append(LineRun(start, count))
+            start = line
+            count = 1
+    runs.append(LineRun(start, count))
+    return runs
+
+
+def runs_for_arg(arg: KernelArg, logical: int, num_logical: int,
+                 kernel_id: int) -> List[LineRun]:
+    """Interval form of :func:`lines_for_arg` (same arguments).
+
+    Invariant (enforced by the differential tests): concatenating
+    ``run.lines()`` over the returned runs yields exactly
+    ``lines_for_arg(arg, logical, num_logical, kernel_id)``. Contiguous
+    patterns are produced by direct arithmetic without materializing the
+    line list; random patterns draw the identical seeded sample and
+    coalesce it.
+    """
+    buf = arg.buffer
+    if arg.pattern in (PatternKind.PARTITIONED, PatternKind.STENCIL):
+        lo, hi = buf.slice_lines(logical, num_logical)
+        span = hi - lo
+        if span == 0:
+            return []
+        count = max(1, int(round(span * arg.fraction)))
+        start = lo + int(span * arg.offset)
+        end = min(hi, start + count)
+        runs: List[LineRun] = []
+        if end > start:
+            runs.append(LineRun(start, end - start))
+        if arg.pattern is PatternKind.STENCIL and arg.halo_lines:
+            first, last = buf.line_range()
+            below_lo = max(first, lo - arg.halo_lines)
+            if below_lo < lo:
+                runs.append(LineRun(below_lo, lo - below_lo))
+            above_hi = min(last, hi + arg.halo_lines)
+            if above_hi > hi:
+                runs.append(LineRun(hi, above_hi - hi))
+        return runs
+    if arg.pattern is PatternKind.SHARED:
+        first, last = buf.line_range()
+        span = last - first
+        count = max(1, int(round(span * arg.fraction)))
+        start = first + int(span * arg.offset)
+        end = min(last, start + count)
+        if end <= start:
+            return []
+        return [LineRun(start, end - start)]
+    # RANDOM / INDIRECT: identical seeded sample, coalesced. The sample
+    # order (and any stable/roam duplicate) must survive, so no sorting.
+    return _coalesce_lines(lines_for_arg(arg, logical, num_logical,
+                                         kernel_id))
+
+
 def lines_for_arg(arg: KernelArg, logical: int, num_logical: int,
                   kernel_id: int) -> List[int]:
     """Distinct global line indices logical chiplet ``logical`` touches.

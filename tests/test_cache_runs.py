@@ -1,0 +1,164 @@
+"""Differential tests: SetAssocCache bulk run ops vs the per-line primitives.
+
+`access_run` / `flush_run` / `invalidate_run` promise bit-exact
+equivalence with issuing the per-line calls in ascending line order:
+identical residency, LRU order, dirty flags, `CacheStats`, and (for
+accesses) an identical ordered miss/victim event stream. These tests
+drive both implementations from the same randomized pre-state and compare
+everything.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import SetAssocCache, WritePolicy
+
+
+def make_cache(num_lines, assoc, policy=WritePolicy.WRITE_BACK):
+    return SetAssocCache(size_bytes=num_lines * 64, assoc=assoc,
+                         policy=policy, name="t")
+
+
+def snapshot(cache):
+    """Full observable state: per-set (line, dirty) in LRU order + stats."""
+    sets = {idx: list(cset.items()) for idx, cset in cache._sets.items()
+            if cset}
+    return sets, vars(cache.stats).copy()
+
+
+def reference_access_run(cache, start, count, do_load, do_store):
+    """The per-line semantics access_run must reproduce."""
+    hits = 0
+    events = []
+    for line in range(start, start + count):
+        if do_load:
+            hit, ev = cache.access(line, is_write=False)
+            if do_store:
+                cache.access(line, is_write=True)
+        else:
+            hit, ev = cache.access(line, is_write=True)
+        if hit:
+            hits += 1
+        else:
+            events.append((line, ev.line if ev else None,
+                           ev.dirty if ev else False))
+    return hits, events
+
+
+def prepopulate(cache, ops):
+    """Apply a warm-up access sequence (line, is_write) pairs."""
+    for line, is_write in ops:
+        cache.access(line, is_write)
+
+
+kind_strategy = st.sampled_from([(True, False), (False, True), (True, True)])
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    num_lines=st.sampled_from([8, 16, 32, 64]),
+    assoc=st.sampled_from([1, 2, 4, 8]),
+    policy=st.sampled_from(list(WritePolicy)),
+    warmup=st.lists(st.tuples(st.integers(0, 127), st.booleans()),
+                    max_size=60),
+    start=st.integers(0, 127),
+    count=st.integers(1, 90),
+    kind=kind_strategy,
+)
+def test_access_run_matches_per_line(num_lines, assoc, policy, warmup,
+                                     start, count, kind):
+    do_load, do_store = kind
+    bulk = make_cache(num_lines, assoc, policy)
+    ref = make_cache(num_lines, assoc, policy)
+    prepopulate(bulk, warmup)
+    prepopulate(ref, warmup)
+
+    res = bulk.access_run(start, count, do_load, do_store)
+    ref_hits, ref_events = reference_access_run(ref, start, count,
+                                                do_load, do_store)
+
+    assert snapshot(bulk) == snapshot(ref)
+    assert res.hits == ref_hits
+    assert res.misses == count - ref_hits
+    if res.uniform_miss:
+        assert res.events is None
+        assert ref_hits == 0
+        assert ref_events == [(line, None, False)
+                              for line in range(start, start + count)]
+    else:
+        assert res.events == ref_events
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    num_lines=st.sampled_from([8, 32, 64]),
+    assoc=st.sampled_from([2, 4, 16]),
+    warmup=st.lists(st.tuples(st.integers(0, 127), st.booleans()),
+                    max_size=60),
+    start=st.integers(0, 127),
+    count=st.integers(1, 90),
+)
+def test_flush_and_invalidate_run_match_per_line(num_lines, assoc, warmup,
+                                                 start, count):
+    bulk = make_cache(num_lines, assoc)
+    ref = make_cache(num_lines, assoc)
+    prepopulate(bulk, warmup)
+    prepopulate(ref, warmup)
+
+    flushed = bulk.flush_run(start, count)
+    ref_flushed = [line for line in range(start, start + count)
+                   if ref.flush_line(line)]
+    assert flushed == ref_flushed
+    assert snapshot(bulk) == snapshot(ref)
+
+    dropped, dirty = bulk.invalidate_run(start, count)
+    ref_dropped = 0
+    ref_dirty = []
+    for line in range(start, start + count):
+        present, was_dirty = ref.invalidate_line(line)
+        if present:
+            ref_dropped += 1
+        if was_dirty:
+            ref_dirty.append(line)
+    assert (dropped, dirty) == (ref_dropped, ref_dirty)
+    assert snapshot(bulk) == snapshot(ref)
+
+
+def test_access_run_uniform_miss_on_cold_cache():
+    cache = make_cache(64, 4)
+    res = cache.access_run(0, 16, True, False)
+    assert res.uniform_miss and res.misses == 16 and res.events is None
+    assert cache.stats.read_misses == 16
+
+
+def test_access_run_all_hit_refreshes_lru():
+    cache = make_cache(64, 4)
+    cache.access_run(0, 16, True, False)
+    res = cache.access_run(0, 16, True, False)
+    assert res.all_hit and res.hits == 16 and res.events == []
+    assert cache.stats.read_hits == 16
+
+
+def test_access_run_rejects_no_op_kind():
+    cache = make_cache(64, 4)
+    with pytest.raises(ValueError):
+        cache.access_run(0, 4, False, False)
+
+
+def test_access_run_empty_run_is_noop():
+    cache = make_cache(64, 4)
+    before = snapshot(cache)
+    res = cache.access_run(5, 0, True, True)
+    assert res.hits == 0 and res.misses == 0 and res.events == []
+    assert snapshot(cache) == before
+
+
+def test_load_store_run_marks_lines_dirty_under_write_back():
+    cache = make_cache(64, 4)
+    cache.access_run(0, 8, True, True)
+    assert cache.dirty_lines == 8
+    # Write-through never dirties.
+    wt = make_cache(64, 4, WritePolicy.WRITE_THROUGH)
+    wt.access_run(0, 8, True, True)
+    assert wt.dirty_lines == 0
