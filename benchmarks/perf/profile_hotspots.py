@@ -4,12 +4,17 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf/profile_hotspots.py \
         [--workload babelstream] [--protocol cpelide] \
-        [--trace-path run] [--scale 0.25] [--chiplets 4] [--reps 3]
+        [--trace-path run|line|memo] [--memo-report] \
+        [--scale 0.25] [--chiplets 4] [--reps 3]
 
 Prints the top 20 functions by cumulative and by internal time. This is
 the tool the batched-path optimization work was driven by; keep it next
 to the benchmark so a perf regression found by ``python -m repro bench``
 can be localized without any extra setup.
+
+With ``--trace-path memo`` the reps share the process-wide memo store
+(rep 1 records, later reps replay — the steady state the memo path is
+for); ``--memo-report`` prints each rep's hit/miss/bypass counters.
 """
 
 from __future__ import annotations
@@ -25,7 +30,10 @@ def main() -> int:
     parser.add_argument("--workload", default="babelstream")
     parser.add_argument("--protocol", default="cpelide")
     parser.add_argument("--trace-path", default="run",
-                        choices=("line", "run"))
+                        choices=("line", "run", "memo"))
+    parser.add_argument("--memo-report", action="store_true",
+                        help="print per-rep memo hit/miss/bypass counters "
+                             "(memo trace path only)")
     parser.add_argument("--scale", type=float, default=1 / 4)
     parser.add_argument("--chiplets", type=int, default=4)
     parser.add_argument("--reps", type=int, default=3,
@@ -40,11 +48,21 @@ def main() -> int:
     config = GPUConfig(num_chiplets=args.chiplets, scale=args.scale)
     profiler = cProfile.Profile()
     profiler.enable()
+    memo_counters = []
     for _ in range(args.reps):
         sim = Simulator(config, protocol=args.protocol,
                         trace_path=args.trace_path)
-        sim.run(build_workload(args.workload, config))
+        result = sim.run(build_workload(args.workload, config))
+        memo_counters.append((result.memo_hits, result.memo_misses,
+                              result.memo_bypasses))
     profiler.disable()
+
+    if args.memo_report:
+        print(f"==== memo counters per rep "
+              f"({args.workload}/{args.protocol}) ====")
+        for rep, (hits, misses, bypasses) in enumerate(memo_counters):
+            print(f"  rep {rep}: {hits} hits, {misses} misses, "
+                  f"{bypasses} bypasses")
 
     for sort in ("cumtime", "tottime"):
         out = io.StringIO()

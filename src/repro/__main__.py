@@ -8,9 +8,12 @@ Subcommands:
 * ``trace <workload>`` — print the sync-operation trace (which
   acquires/releases fired, and why).
 * ``occupancy [<workload> ...]`` — Chiplet Coherence Table occupancy.
-* ``bench`` — time the batched run-based trace path against the
-  per-line reference on the partitioned sweep and write
-  ``BENCH_trace.json``.
+* ``bench`` — time the trace paths against each other: the batched run
+  path vs the per-line reference on the partitioned sweep
+  (``BENCH_trace.json``) and the memoized path vs the run path on the
+  iterative sweep (``BENCH_memo.json``). Reports land in
+  ``benchmarks/perf/`` with a copy at the repo root for perf-trajectory
+  tooling that scans root-level ``BENCH_*.json``.
 
 ``run`` and ``occupancy`` execute through the sweep engine: ``--jobs N``
 fans simulations out over worker processes, and completed cells are
@@ -133,6 +136,34 @@ def cmd_occupancy(args) -> int:
     return 0
 
 
+def _write_bench_report(report, path: str) -> None:
+    """Write a bench report to ``path`` plus a repo-root copy.
+
+    Perf-trajectory tooling scans root-level ``BENCH_*.json``, while the
+    canonical reports live under ``benchmarks/perf/`` — emit both (the
+    copy is skipped when ``path`` already is the root file).
+    """
+    import os
+
+    from repro import bench
+
+    bench.write_report(report, path)
+    _progress(f"wrote {path}")
+    root_copy = os.path.basename(path)
+    if os.path.abspath(root_copy) != os.path.abspath(path):
+        bench.write_report(report, root_copy)
+        _progress(f"wrote {root_copy}")
+
+
+def _check_speedup(report, label: str, floor: float) -> int:
+    speedup = report["aggregate"]["speedup"]
+    if speedup < floor:
+        _progress(f"FAIL: {label} aggregate speedup {speedup:.2f}x is "
+                  f"below the --min-speedup floor {floor:g}x")
+        return 1
+    return 0
+
+
 def cmd_bench(args) -> int:
     from repro import bench
 
@@ -143,19 +174,32 @@ def cmd_bench(args) -> int:
     repeats = args.repeats
     if repeats is None:
         repeats = 2 if args.quick else 3
-    _progress(f"benchmarking trace paths at scale {scale:g} "
-              f"({args.chiplets} chiplets, best of {repeats})")
-    report = bench.run_bench(scale=scale, chiplets=args.chiplets,
-                             repeats=repeats, progress=_progress)
-    bench.write_report(report, args.out)
-    print(bench.summarize(report))
-    _progress(f"wrote {args.out}")
-    speedup = report["aggregate"]["speedup"]
-    if args.check and speedup < args.min_speedup:
-        _progress(f"FAIL: aggregate speedup {speedup:.2f}x is below the "
-                  f"--min-speedup floor {args.min_speedup:g}x")
-        return 1
-    return 0
+    workloads = args.workloads or None
+    rc = 0
+    if args.sweep in ("trace", "both"):
+        _progress(f"benchmarking line vs run trace paths at scale "
+                  f"{scale:g} ({args.chiplets} chiplets, "
+                  f"best of {repeats})")
+        report = bench.run_bench(scale=scale, chiplets=args.chiplets,
+                                 repeats=repeats, workloads=workloads,
+                                 progress=_progress)
+        _write_bench_report(report, args.out)
+        print(bench.summarize(report))
+        if args.check:
+            rc |= _check_speedup(report, "line-vs-run", args.min_speedup)
+    if args.sweep in ("memo", "both"):
+        _progress(f"benchmarking memo vs run trace paths at scale "
+                  f"{scale:g} ({args.chiplets} chiplets, "
+                  f"best of {repeats})")
+        report = bench.run_memo_bench(scale=scale, chiplets=args.chiplets,
+                                      repeats=max(2, repeats),
+                                      workloads=workloads,
+                                      progress=_progress)
+        _write_bench_report(report, args.memo_out)
+        print(bench.summarize_memo(report))
+        if args.check:
+            rc |= _check_speedup(report, "memo-vs-run", args.min_speedup)
+    return rc
 
 
 def main(argv=None) -> int:
@@ -195,21 +239,35 @@ def main(argv=None) -> int:
                        help="workload subset (default: all 24)")
 
     bench_p = sub.add_parser(
-        "bench", help="time the batched trace path vs the per-line path")
+        "bench", help="time the trace paths against each other")
+    bench_p.add_argument("--sweep", default="both",
+                         choices=("trace", "memo", "both"),
+                         help="which comparison to run: line-vs-run "
+                              "('trace'), memo-vs-run ('memo'), or both "
+                              "(default)")
+    bench_p.add_argument("--workloads", nargs="+", default=None,
+                         choices=WORKLOAD_NAMES + EXTRA_WORKLOADS,
+                         help="workload subset (default: each sweep's "
+                              "canonical list)")
     bench_p.add_argument("--quick", action="store_true",
                          help="smaller scale and fewer repeats (CI smoke)")
     bench_p.add_argument("--check", action="store_true",
-                         help="exit nonzero if the batched path's aggregate "
+                         help="exit nonzero if a sweep's aggregate "
                               "speedup is below --min-speedup")
     bench_p.add_argument("--min-speedup", type=float, default=1.0,
                          help="speedup floor for --check (default 1.0: "
-                              "fail only if the batched path is slower)")
+                              "fail only if the fast path is slower)")
     bench_p.add_argument("--repeats", type=int, default=None,
                          help="timing repetitions per cell, best kept "
-                              "(default 3, or 2 with --quick)")
+                              "(default 3, or 2 with --quick; the memo "
+                              "sweep needs >= 2 to measure warm replays)")
     bench_p.add_argument("--out", default="benchmarks/perf/BENCH_trace.json",
-                         help="report path "
+                         help="line-vs-run report path "
                               "(default benchmarks/perf/BENCH_trace.json)")
+    bench_p.add_argument("--memo-out",
+                         default="benchmarks/perf/BENCH_memo.json",
+                         help="memo-vs-run report path "
+                              "(default benchmarks/perf/BENCH_memo.json)")
 
     args = parser.parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "trace": cmd_trace,

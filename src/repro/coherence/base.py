@@ -108,6 +108,44 @@ class CoherenceProtocol(abc.ABC):
         from repro.metrics.stats import SyncCounts
         return SyncCounts()
 
+    # ---- memoization support (src/repro/gpu/memo.py) -------------------
+    #
+    # The memo trace path keys kernel outcomes on pre-state digests and
+    # replays recorded deltas on a hit. A protocol exposes its *behavioral*
+    # state through `memo_digest`/`memo_snapshot`/`memo_restore` and its
+    # *cumulative diagnostic* counters through the counter hooks. The
+    # defaults model a stateless protocol (Baseline/NoSync/Monolithic keep
+    # everything in the device, which the memo layer handles itself).
+
+    def memo_key_flags(self) -> tuple:
+        """Protocol-internal facts (beyond digested state) that change a
+        kernel's outcome and so must participate in the memo key — e.g.
+        a first-launch overhead gate."""
+        return ()
+
+    def memo_digest(self) -> bytes:
+        """128-bit digest of protocol-internal behavioral state."""
+        return b""
+
+    def memo_snapshot(self):
+        """Immutable snapshot of the behavioral state, or ``None``."""
+        return None
+
+    def memo_restore(self, snapshot) -> None:
+        """Restore a :meth:`memo_snapshot` (no-op for stateless)."""
+
+    def memo_counters_begin(self):
+        """Token capturing cumulative diagnostic counters before a
+        recorded kernel (paired with :meth:`memo_counters_end`)."""
+        return None
+
+    def memo_counters_end(self, token):
+        """Delta of the diagnostic counters since ``token``."""
+        return None
+
+    def memo_counters_apply(self, delta) -> None:
+        """Replay a :meth:`memo_counters_end` delta on a memo hit."""
+
 
 #: Lazily-populated protocol registry: name -> factory(config, device).
 #: Everything that needs the list of protocols (the CLIs, the sweep

@@ -83,6 +83,50 @@ class CPElideProtocol(BaselineProtocol):
             return self.config.cpelide_op_cycles
         return 0.0
 
+    # ---- memoization support ---------------------------------------------
+
+    def memo_key_flags(self) -> tuple:
+        """Whether the *next* launch is the first one: it alone pays the
+        table-operation overhead (``launch_overhead_cycles`` fires when
+        ``_launches == 1`` post-increment), so two otherwise identical
+        kernels at launch index 0 and N must not share a memo entry."""
+        return (self._launches == 0,)
+
+    def memo_digest(self) -> bytes:
+        """The Chiplet Coherence Table is CPElide's behavioral state."""
+        return self.table.memo_digest()
+
+    def memo_snapshot(self):
+        return self.table.memo_snapshot()
+
+    def memo_restore(self, snapshot) -> None:
+        self.table.memo_restore(snapshot)
+
+    def memo_counters_begin(self):
+        """Arm the exact per-kernel peak-occupancy measurement.
+
+        ``peak_entries`` only ever advances as ``max(peak, len(entries))``
+        inside ``get_or_create``, so zeroing it for the kernel and folding
+        the observed kernel-local peak back with ``max`` afterwards is
+        exact — and the kernel-local peak is replayable on a hit.
+        """
+        token = (self.table.peak_entries, self.table.overflow_evictions)
+        self.table.peak_entries = 0
+        return token
+
+    def memo_counters_end(self, token):
+        peak_before, overflow_before = token
+        kernel_peak = self.table.peak_entries
+        self.table.peak_entries = max(peak_before, kernel_peak)
+        return (kernel_peak,
+                self.table.overflow_evictions - overflow_before)
+
+    def memo_counters_apply(self, delta) -> None:
+        kernel_peak, overflow_delta = delta
+        self.table.peak_entries = max(self.table.peak_entries, kernel_peak)
+        self.table.overflow_evictions += overflow_delta
+        self._launches += 1
+
     # ---- range extension -------------------------------------------------------
 
     def _attach_ranges(self, op: SyncOp, packet: KernelPacket,

@@ -93,6 +93,28 @@ class L2Directory:
     def __len__(self) -> int:
         return len(self._entries)
 
+    # ---- memoization support ---------------------------------------------
+
+    def memo_state(self) -> tuple:
+        """Canonical immutable state: entries in LRU order with sorted
+        sharer sets.
+
+        Sharer sets hold small ints (chiplet ids), which CPython iterates
+        in sorted slot order regardless of insertion history, so a
+        ``set(sorted(...))`` rebuild reproduces the original set's
+        iteration order — which `_invalidate_region` and
+        `_invalidate_other_sharers` depend on — exactly.
+        """
+        return tuple((region, tuple(sorted(e.sharers)), e.owner)
+                     for region, e in self._entries.items())
+
+    def memo_restore(self, state: tuple) -> None:
+        """Rebuild entries (fresh objects, preserved LRU order) from a
+        :meth:`memo_state`. The ``evictions`` counter is left alone."""
+        self._entries = OrderedDict(
+            (region, DirectoryEntry(sharers=set(sharers), owner=owner))
+            for region, sharers, owner in state)
+
 
 class HMGProtocol(CoherenceProtocol):
     """The HMG comparator."""
@@ -135,6 +157,36 @@ class HMGProtocol(CoherenceProtocol):
         counts = self._sync
         self._sync = SyncCounts()
         return counts
+
+    # ---- memoization support ------------------------------------------------
+
+    def memo_digest(self) -> bytes:
+        """Digest of every home directory's behavioral state (`_sync` is
+        drained to zero at each kernel boundary, so it never needs to be
+        part of the key or the snapshot)."""
+        import hashlib
+
+        return hashlib.blake2b(
+            repr([d.memo_state() for d in self.directories]).encode(),
+            digest_size=16).digest()
+
+    def memo_snapshot(self):
+        return tuple(d.memo_state() for d in self.directories)
+
+    def memo_restore(self, snapshot) -> None:
+        for directory, state in zip(self.directories, snapshot):
+            directory.memo_restore(state)
+
+    def memo_counters_begin(self):
+        return tuple(d.evictions for d in self.directories)
+
+    def memo_counters_end(self, token):
+        return tuple(d.evictions - before
+                     for d, before in zip(self.directories, token))
+
+    def memo_counters_apply(self, delta) -> None:
+        for directory, diff in zip(self.directories, delta):
+            directory.evictions += diff
 
     # ---- demand access path ----------------------------------------------------
 

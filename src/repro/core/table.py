@@ -198,6 +198,53 @@ class ChipletCoherenceTable:
                 entry.states[chiplet] = ChipletState.VALID
 
     # ------------------------------------------------------------------
+    # Memoization support (state digest + snapshot/restore)
+    # ------------------------------------------------------------------
+    #
+    # Behavioral state is the rows in LRU order with every field that
+    # influences future decisions (extent, mode, per-chiplet states and
+    # ranges). `peak_entries`/`overflow_evictions` are cumulative
+    # diagnostics and are replayed as deltas by the memo layer, not
+    # digested here.
+
+    def memo_state(self) -> tuple:
+        """The behavioral state as an immutable canonical structure."""
+        return tuple(
+            (e.name, e.base, e.end, e.mode.value,
+             tuple(s.value for s in e.states),
+             tuple(e.ranges), tuple(e.home_ranges))
+            for e in self._entries.values())
+
+    def memo_digest(self) -> bytes:
+        """A 128-bit deterministic digest of :meth:`memo_state`."""
+        import hashlib
+
+        return hashlib.blake2b(repr(self.memo_state()).encode(),
+                               digest_size=16).digest()
+
+    def memo_snapshot(self) -> tuple:
+        """An immutable snapshot of the rows for :meth:`memo_restore`."""
+        return tuple(
+            (e.name, e.base, e.end, e.mode, tuple(e.states),
+             tuple(e.ranges), tuple(e.home_ranges))
+            for e in self._entries.values())
+
+    def memo_restore(self, snapshot: tuple) -> None:
+        """Rebuild the rows from a :meth:`memo_snapshot`.
+
+        Installs *fresh* :class:`TableEntry` objects (rows are mutated in
+        place by the protocol, so a stored snapshot must never alias live
+        entries), preserving LRU order. Counters are left alone.
+        """
+        entries: "OrderedDict[int, TableEntry]" = OrderedDict()
+        for name, base, end, mode, states, ranges, home_ranges in snapshot:
+            entries[base] = TableEntry(
+                name=name, base=base, end=end, mode=mode,
+                states=list(states), ranges=list(ranges),
+                home_ranges=list(home_ranges))
+        self._entries = entries
+
+    # ------------------------------------------------------------------
 
     def storage_bytes(self) -> int:
         """Total bytes at full capacity (the ~2 KB claim of Sec. III-A)."""

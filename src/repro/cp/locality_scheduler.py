@@ -76,3 +76,22 @@ class LocalityAwareWGScheduler(WGScheduler):
     def _record(self, packet: KernelPacket, placement: Placement) -> None:
         for arg in packet.args:
             self._affinity[arg.buffer.base] = placement.chiplets
+
+    # ------------------------------------------------------------------
+    # Memoization support: the affinity history is behavioral state (it
+    # steers future placements) but is read only through `.get`, so its
+    # dict order is irrelevant — a sorted digest and a plain dict copy
+    # capture it exactly.
+
+    def memo_digest(self) -> bytes:
+        import hashlib
+
+        return hashlib.blake2b(
+            repr(sorted(self._affinity.items())).encode(),
+            digest_size=16).digest()
+
+    def memo_snapshot(self) -> Dict[int, Tuple[int, ...]]:
+        return dict(self._affinity)
+
+    def memo_restore(self, snapshot: Dict[int, Tuple[int, ...]]) -> None:
+        self._affinity = dict(snapshot)

@@ -226,10 +226,32 @@ class SweepRunner:
             outcomes[index] = self._finish(jobs[index], payload, seconds,
                                            done, len(pending))
 
+    def _prewarm_traces(self, jobs: List[JobSpec],
+                        pending: List[int]) -> None:
+        """Generate the pending simulation jobs' RANDOM/INDIRECT
+        run-traces in the parent (deduplicated per workload/config) so
+        ``fork``-started workers inherit the interned traces
+        copy-on-write instead of each re-sampling them from scratch."""
+        from repro.engine.spec import build_for_job
+        from repro.workloads.base import prewarm_workload_traces
+
+        seen = set()
+        for index in pending:
+            job = jobs[index]
+            if job.kind == "occupancy":
+                continue
+            key = (workload_label(job.workload), repr(job.config))
+            if key in seen:
+                continue
+            seen.add(key)
+            workload = build_for_job(job.workload, job.config)
+            prewarm_workload_traces(workload, job.config.num_chiplets)
+
     def _run_parallel(self, jobs: List[JobSpec], pending: List[int],
                       outcomes: List[Optional[JobOutcome]]) -> None:
         import multiprocessing
 
+        self._prewarm_traces(jobs, pending)
         context = multiprocessing.get_context("fork")
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers,

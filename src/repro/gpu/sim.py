@@ -37,22 +37,25 @@ from repro.workloads.base import (
     Kernel,
     LineRun,
     Workload,
+    interned_runs_for_arg,
     lines_for_arg,
-    runs_for_arg,
 )
 
-#: Environment variable selecting the trace representation ("line" or
-#: "run") for simulators not given an explicit ``trace_path``. The two
-#: paths produce bit-identical results (tests/test_batched_equivalence.py),
-#: so the switch exists for cross-checking and benchmarking, not output.
+#: Environment variable selecting the trace representation ("line",
+#: "run", or "memo") for simulators not given an explicit ``trace_path``.
+#: All paths produce bit-identical results
+#: (tests/test_batched_equivalence.py), so the switch exists for
+#: cross-checking and benchmarking, not output.
 TRACE_PATH_ENV = "REPRO_TRACE_PATH"
 
 #: Trace path used when neither the constructor argument nor the
-#: environment selects one. The run path is the fast one; the line path
-#: is the per-line reference implementation.
+#: environment selects one. The run path is the fast default; the line
+#: path is the per-line reference implementation; the memo path adds
+#: kernel-outcome memoization on top of the run path
+#: (:mod:`repro.gpu.memo`).
 DEFAULT_TRACE_PATH = "run"
 
-_TRACE_PATHS = ("line", "run")
+_TRACE_PATHS = ("line", "run", "memo")
 
 
 @dataclass
@@ -64,6 +67,15 @@ class SimulationResult:
     wall_cycles: float
     protocol: str
     num_chiplets: int
+    #: Memo trace-path diagnostics (kernels replayed from / recorded
+    #: into / excluded from the memo store). Always zero on the line and
+    #: run paths. Deliberately *not* serialized by :meth:`to_dict`: the
+    #: dump must stay bit-identical across trace paths (and across warm
+    #: vs. cold memo stores) for the differential tests and the engine's
+    #: result cache.
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_bypasses: int = 0
 
     @property
     def cycles(self) -> float:
@@ -156,6 +168,8 @@ class Simulator:
                              wg_scheduler=wg_scheduler)
         driver = GPUDriver(config)
         timing = TimingModel(config)
+        memoizer = self._make_memoizer(device, protocol, global_cp, driver,
+                                       wg_scheduler)
         metrics = RunMetrics(workload=workload.name,
                              protocol=protocol.name,
                              num_chiplets=config.num_chiplets)
@@ -163,11 +177,18 @@ class Simulator:
         self.last_trace_lines = 0
 
         for kernel in workload.kernels:
-            km = self._run_kernel(kernel, driver, device, protocol,
-                                  global_cp, timing)
+            if memoizer is not None:
+                km = self._run_kernel_memo(kernel, driver, device, protocol,
+                                           global_cp, timing, memoizer)
+            else:
+                km = self._run_kernel(kernel, driver, device, protocol,
+                                      global_cp, timing)
             metrics.add_kernel(km)
             stream_clocks[kernel.stream_id] += km.cycles
 
+        if memoizer is not None:
+            # The end-of-run release reads the caches for real.
+            memoizer.flush_pending()
         finalize = self._finalize(device, protocol, timing,
                                   len(workload.kernels))
         if finalize is not None:
@@ -183,10 +204,28 @@ class Simulator:
         wall = max(stream_clocks.values()) if stream_clocks else 0.0
         energy = self.energy_model.breakdown(metrics.total_accesses(),
                                              metrics.total_traffic())
-        return SimulationResult(metrics=metrics, energy=energy,
-                                wall_cycles=wall,
-                                protocol=protocol.name,
-                                num_chiplets=config.num_chiplets)
+        result = SimulationResult(metrics=metrics, energy=energy,
+                                  wall_cycles=wall,
+                                  protocol=protocol.name,
+                                  num_chiplets=config.num_chiplets)
+        if memoizer is not None:
+            result.memo_hits = memoizer.hits
+            result.memo_misses = memoizer.misses
+            result.memo_bypasses = memoizer.bypasses
+        return result
+
+    def _make_memoizer(self, device, protocol, global_cp, driver,
+                       wg_scheduler):
+        """Build the run's :class:`~repro.gpu.memo.KernelMemoizer`, or
+        ``None`` off the memo path. Custom protocol factories have no
+        stable registry name to key the shared store by, so they run
+        unmemoized even under ``trace_path='memo'``."""
+        if self.trace_path != "memo" or callable(self.protocol_name):
+            return None
+        from repro.gpu.memo import KernelMemoizer, store_for
+        context = (repr(self.config), protocol.name, self.scheduler)
+        return KernelMemoizer(store_for(context), device, protocol,
+                              global_cp, driver, wg_scheduler)
 
     # ------------------------------------------------------------------
 
@@ -237,6 +276,34 @@ class Simulator:
             chiplets_used=placement.num_chiplets,
         )
 
+    def _run_kernel_memo(self, kernel: Kernel, driver: GPUDriver,
+                         device: Device, protocol: CoherenceProtocol,
+                         global_cp: GlobalCP, timing: TimingModel,
+                         memoizer) -> KernelMetrics:
+        """Memo trace path: replay a recorded outcome when this exact
+        (kernel, pre-state, launch position) transition has been seen,
+        otherwise run the kernel for real and record it. Kernels whose
+        trace depends on the dynamic kernel id bypass memoization."""
+        from repro.gpu.memo import kernel_is_bypassed
+
+        if kernel_is_bypassed(kernel):
+            memoizer.note_bypass(kernel)
+            return self._run_kernel(kernel, driver, device, protocol,
+                                    global_cp, timing)
+        key = memoizer.lookup_key(kernel)
+        entry = memoizer.store.get(key)
+        if entry is not None:
+            km, trace_lines = memoizer.replay(entry, kernel)
+            self.last_trace_lines += trace_lines
+            return km
+        lines_before = self.last_trace_lines
+        pre = memoizer.begin_capture()
+        km = self._run_kernel(kernel, driver, device, protocol,
+                              global_cp, timing)
+        memoizer.end_capture(key, pre, km,
+                             self.last_trace_lines - lines_before)
+        return km
+
     def _occupancy_factor(self, kernel: Kernel) -> float:
         """Occupancy-derived MLP factor (1.0 for undeclared resources)."""
         if kernel.resources is None:
@@ -258,13 +325,14 @@ class Simulator:
         """
         total_lines = 0
         caches_remote = protocol.caches_remote_locally
-        batched = self.trace_path == "run"
+        batched = self.trace_path != "line"
         for arg in kernel.args:
             kind = arg.effective_kind
             for logical, chiplet in enumerate(placement.chiplets):
                 if batched:
-                    runs = runs_for_arg(arg, logical,
-                                        placement.num_chiplets, kernel_id)
+                    runs = interned_runs_for_arg(arg, logical,
+                                                 placement.num_chiplets,
+                                                 kernel_id)
                     if not runs:
                         continue
                     total_lines += self._run_arg_runs(

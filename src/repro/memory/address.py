@@ -183,6 +183,15 @@ class HomeMap:
     _homes: Dict[int, int] = field(default_factory=dict)
     _segments_cache: Dict[Tuple[int, int], List[Tuple[int, int, int]]] = (
         field(default_factory=dict))
+    # Memoization support: a running 128-bit hash over the assignment
+    # stream (placements are permanent, so an order-sensitive rolling
+    # hash is a digest of the whole map) and an optional journal of the
+    # assignments made during one kernel, replayable as a delta.
+    _memo_hash: Optional[object] = field(default=None, repr=False,
+                                         compare=False)
+    _journal: Optional[List[Tuple[int, int]]] = field(default=None,
+                                                      repr=False,
+                                                      compare=False)
 
     def __post_init__(self) -> None:
         if self.lines_per_page <= 0:
@@ -197,6 +206,8 @@ class HomeMap:
             if not 0 <= toucher < self.num_chiplets:
                 raise ValueError(f"chiplet {toucher} out of range")
             self._homes[page] = toucher
+            if self._memo_hash is not None:
+                self._memo_note(page, toucher)
             return toucher
         return home
 
@@ -235,11 +246,15 @@ class HomeMap:
         cur = homes.get(first_page)
         if cur is None:
             homes[first_page] = cur = toucher
+            if self._memo_hash is not None:
+                self._memo_note(first_page, toucher)
             assigned = True
         for page in range(first_page + 1, last_page + 1):
             home = homes.get(page)
             if home is None:
                 homes[page] = home = toucher
+                if self._memo_hash is not None:
+                    self._memo_note(page, toucher)
                 assigned = True
             if home != cur:
                 boundary = page * lpp
@@ -270,6 +285,61 @@ class HomeMap:
                 cur_home = default if home is None else home
             out[cur_home] = out.get(cur_home, 0) + 1
         return out
+
+    # ------------------------------------------------------------------
+    # Memoization support (incremental digest + assignment journal)
+    # ------------------------------------------------------------------
+    #
+    # Placements are permanent, so the map's whole history is the stream
+    # of `(page, home)` assignments: a rolling hash over that stream is a
+    # digest of the current state, updated in O(1) per first touch, and a
+    # journal of one kernel's assignments is a complete, replayable
+    # delta. `_segments_cache` is excluded: it only memoizes permanent
+    # fully-placed answers, so stale entries are still correct.
+
+    def _memo_note(self, page: int, home: int) -> None:
+        """Fold one assignment into the rolling hash (and journal)."""
+        self._memo_hash.update(b"%d:%d;" % (page, home))
+        if self._journal is not None:
+            self._journal.append((page, home))
+
+    def memo_enable(self) -> None:
+        """Start maintaining the rolling digest (idempotent).
+
+        Seeds the hash with the assignments made so far so that enabling
+        late is equivalent to having tracked from the start.
+        """
+        if self._memo_hash is None:
+            import hashlib
+
+            h = hashlib.blake2b(digest_size=16)
+            for page, home in self._homes.items():
+                h.update(b"%d:%d;" % (page, home))
+            self._memo_hash = h
+
+    def memo_digest(self) -> bytes:
+        """The current 128-bit digest (requires :meth:`memo_enable`)."""
+        return self._memo_hash.copy().digest()
+
+    def memo_begin_journal(self) -> None:
+        """Start recording assignments into a fresh journal."""
+        self._journal = []
+
+    def memo_take_journal(self) -> Tuple[Tuple[int, int], ...]:
+        """Stop recording and return the journal since the last begin."""
+        journal = tuple(self._journal)
+        self._journal = None
+        return journal
+
+    def memo_apply_journal(self, journal) -> None:
+        """Replay a recorded assignment journal (and keep the digest in
+        step), exactly reproducing the placements the recorded kernel
+        made."""
+        homes = self._homes
+        h = self._memo_hash
+        for page, home in journal:
+            homes[page] = home
+            h.update(b"%d:%d;" % (page, home))
 
     @property
     def num_placed_pages(self) -> int:

@@ -19,6 +19,7 @@ Supported behaviours needed by the three evaluated protocols:
 from __future__ import annotations
 
 import enum
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -52,6 +53,27 @@ class CacheStats:
         """Accumulate ``other`` into ``self``."""
         for name in self.__dataclass_fields__:
             setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def counter_tuple(self) -> Tuple[int, ...]:
+        """The counters as a flat tuple, in field order.
+
+        The memoization layer records a kernel's contribution as the
+        difference of two of these tuples and replays it with
+        :meth:`apply_delta`.
+        """
+        return tuple(getattr(self, name) for name in self.__dataclass_fields__)
+
+    def delta_since(self, before: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Per-field difference between the current counters and a
+        :meth:`counter_tuple` taken earlier."""
+        return tuple(now - then
+                     for now, then in zip(self.counter_tuple(), before))
+
+    def apply_delta(self, delta: Tuple[int, ...]) -> None:
+        """Add a :meth:`delta_since` tuple onto the counters."""
+        for name, diff in zip(self.__dataclass_fields__, delta):
+            if diff:
+                setattr(self, name, getattr(self, name) + diff)
 
 
 @dataclass(frozen=True)
@@ -744,6 +766,59 @@ class SetAssocCache:
     def capacity_lines(self) -> int:
         """Total capacity in lines."""
         return self.num_sets * self.assoc
+
+    # ------------------------------------------------------------------
+    # Memoization support (state digest + snapshot/restore)
+    # ------------------------------------------------------------------
+    #
+    # The memo trace path (src/repro/gpu/memo.py) keys kernel outcomes on
+    # the *behavioral* cache state: which sets exist (in creation order —
+    # `flush_dirty`/`invalidate_all` iterate `_sets` in that order, which
+    # fixes writeback order and hence L3 fill order), each set's lines in
+    # LRU order, and their dirty flags. `CacheStats` is cumulative
+    # diagnostics, not behavior, so it is carried as a counter delta
+    # instead of being part of the digest.
+
+    def memo_state(self) -> tuple:
+        """The behavioral state as an immutable canonical structure."""
+        return (tuple((idx, tuple(cset.items()))
+                      for idx, cset in self._sets.items()),
+                self._resident)
+
+    def memo_digest(self) -> bytes:
+        """A 128-bit digest of :meth:`memo_state`.
+
+        Deterministic across processes (no reliance on ``hash()``), and a
+        pure function of the behavioral state: equal states hash equal.
+        """
+        return hashlib.blake2b(repr(self.memo_state()).encode(),
+                               digest_size=16).digest()
+
+    def memo_snapshot(self) -> tuple:
+        """A snapshot suitable for :meth:`memo_restore`.
+
+        The snapshot shares no structure with the cache and is treated
+        as immutable by all holders (restore copies, never installs), so
+        it can be stored in a cross-run memo table and restored any
+        number of times. Sets are kept as ``OrderedDict`` copies rather
+        than item tuples: ``OrderedDict.copy`` makes restore a C-level
+        copy per set, which is what puts memo-hit replay ahead of
+        re-walking the trace.
+        """
+        return ({idx: cset.copy() for idx, cset in self._sets.items()},
+                self._resident)
+
+    def memo_restore(self, snapshot: tuple) -> None:
+        """Restore the behavioral state captured by :meth:`memo_snapshot`.
+
+        Copies the set dictionaries (plain dict insertion order
+        reproduces the recorded creation order; each ``OrderedDict``
+        copy reproduces the recorded LRU order), leaving :attr:`stats`
+        alone — counters are replayed separately as deltas.
+        """
+        sets_state, resident = snapshot
+        self._sets = {idx: cset.copy() for idx, cset in sets_state.items()}
+        self._resident = resident
 
     def __repr__(self) -> str:
         return (f"SetAssocCache({self.name}, {self.capacity_lines} lines, "

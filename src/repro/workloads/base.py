@@ -294,6 +294,95 @@ def runs_for_arg(arg: KernelArg, logical: int, num_logical: int,
                                          kernel_id))
 
 
+# ----------------------------------------------------------------------
+# Run-trace interning
+# ----------------------------------------------------------------------
+#
+# RANDOM / INDIRECT traces are the expensive ones to generate (a seeded
+# RNG sample plus coalescing), and the simulator regenerates them
+# constantly: every kernel repetition with a stable sample, every
+# protocol cell of a sweep, and every bench repeat draws the *same*
+# lines. Workload builders are deterministic (the bump allocator hands
+# out identical buffers on every rebuild), so a value-based key — the
+# frozen KernelArg itself plus the slice coordinates — makes generated
+# traces shareable across kernels, Simulator instances, engine cells,
+# and fork()ed sweep workers (which inherit a prewarmed parent cache
+# copy-on-write). Contiguous patterns are O(1) arithmetic and skip the
+# cache.
+
+#: (arg, logical, num_logical, salt) -> interned run tuple. The salt is
+#: the kernel id when the trace depends on it (a nonzero roam share) and
+#: 0 otherwise, so id-independent traces collapse to one entry.
+_RUN_CACHE: Dict[Tuple[KernelArg, int, int, int], Tuple[LineRun, ...]] = {}
+
+#: Entry cap; the cache is pure memoization, so eviction is a full clear.
+_RUN_CACHE_MAX = 4096
+
+
+def _trace_salt(arg: KernelArg, num_logical: int, kernel_id: int) -> int:
+    """The part of ``kernel_id`` that actually reaches the trace.
+
+    Mirrors :func:`lines_for_arg`'s RANDOM/INDIRECT sample split exactly:
+    only the *roam* portion seeds its RNG with the kernel id, so when the
+    roam count rounds to zero the trace is launch-invariant and salts
+    to 0.
+    """
+    first, last = arg.buffer.line_range()
+    span = last - first
+    count = max(1, int(round(span * arg.fraction / num_logical)))
+    count = min(count, span)
+    if arg.stable_fraction is not None:
+        stable_share = arg.stable_fraction
+    else:
+        stable_share = 0.0 if arg.resample else 1.0
+    roam_count = count - int(round(count * stable_share))
+    return kernel_id if roam_count else 0
+
+
+def interned_runs_for_arg(arg: KernelArg, logical: int, num_logical: int,
+                          kernel_id: int) -> Tuple[LineRun, ...]:
+    """Interned (shared, immutable) form of :func:`runs_for_arg`.
+
+    Returns the identical runs as ``tuple(runs_for_arg(...))`` — the
+    drift test in tests/test_memoization.py holds the two together — but
+    serves repeated RANDOM/INDIRECT generations from a process-wide
+    cache instead of re-sampling.
+    """
+    if arg.pattern not in (PatternKind.RANDOM, PatternKind.INDIRECT):
+        return tuple(runs_for_arg(arg, logical, num_logical, kernel_id))
+    key = (arg, logical, num_logical,
+           _trace_salt(arg, num_logical, kernel_id))
+    runs = _RUN_CACHE.get(key)
+    if runs is None:
+        if len(_RUN_CACHE) >= _RUN_CACHE_MAX:
+            _RUN_CACHE.clear()
+        runs = tuple(runs_for_arg(arg, logical, num_logical, kernel_id))
+        _RUN_CACHE[key] = runs
+    return runs
+
+
+def prewarm_workload_traces(workload: Workload, num_logical: int) -> int:
+    """Generate ``workload``'s RANDOM/INDIRECT run-traces into the intern
+    cache (full-width placements; narrow kernels fill in lazily).
+
+    The parallel sweep runner calls this in the parent before forking so
+    every worker inherits the generated traces copy-on-write instead of
+    re-sampling them per process. Returns the cache's entry count.
+    """
+    for kernel_id, kernel in enumerate(workload.kernels):
+        for arg in kernel.args:
+            if arg.pattern in (PatternKind.RANDOM, PatternKind.INDIRECT):
+                for logical in range(num_logical):
+                    interned_runs_for_arg(arg, logical, num_logical,
+                                          kernel_id)
+    return len(_RUN_CACHE)
+
+
+def clear_trace_cache() -> None:
+    """Drop every interned run-trace (tests and memory pressure)."""
+    _RUN_CACHE.clear()
+
+
 def lines_for_arg(arg: KernelArg, logical: int, num_logical: int,
                   kernel_id: int) -> List[int]:
     """Distinct global line indices logical chiplet ``logical`` touches.

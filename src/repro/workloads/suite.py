@@ -8,7 +8,7 @@ scaled to ``config.scale``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Sequence
 
 from repro.gpu.config import GPUConfig
 from repro.workloads import (
@@ -100,3 +100,22 @@ def build_workload(name: str, config: GPUConfig) -> Workload:
             f"{name}: registry grouping ({expected}) disagrees with the "
             f"workload's own reuse_class ({workload.reuse_class})")
     return workload
+
+
+def prewarm_traces(names: Sequence[str], config: GPUConfig) -> int:
+    """Build each named workload and intern its RANDOM/INDIRECT
+    run-traces (:func:`repro.workloads.base.prewarm_workload_traces`).
+
+    Convenience for harnesses that are about to simulate the same
+    workloads many times (bench repeats, sweep cells): generating the
+    seeded samples once up front keeps RNG time out of the measured
+    region and, before a ``fork``, shares the traces with every worker.
+    Returns the intern cache's entry count.
+    """
+    from repro.workloads.base import prewarm_workload_traces
+
+    count = 0
+    for name in names:
+        workload = build_workload(name, config)
+        count = prewarm_workload_traces(workload, config.num_chiplets)
+    return count

@@ -27,7 +27,7 @@ from repro.workloads.base import (
     lines_for_arg,
     runs_for_arg,
 )
-from repro.workloads.suite import build_workload
+from repro.workloads.suite import WORKLOAD_NAMES, build_workload
 
 SCALE = 1 / 64
 
@@ -66,6 +66,85 @@ def test_run_path_bit_identical(protocol, workload, scheduler):
     line = _result_dict(workload, protocol, scheduler, "line")
     run = _result_dict(workload, protocol, scheduler, "run")
     assert line == run
+
+
+# ---------------------------------------------------------------------------
+# Memo trace path (kernel-outcome memoization, src/repro/gpu/memo.py)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo_store():
+    """Each test starts from a cold memo store — hits within a test are
+    the test's own doing, never another test's leftovers."""
+    from repro.gpu.memo import clear_memo_stores
+
+    clear_memo_stores()
+    yield
+    clear_memo_stores()
+
+
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+@pytest.mark.parametrize("protocol", ["baseline", "hmg", "cpelide"])
+def test_memo_path_bit_identical(protocol, workload):
+    """Every Table II workload: the memo path's result dict must equal
+    the run path's, both on a cold store (record) and on a warm one
+    (pure replay)."""
+    run = _result_dict(workload, protocol, "static", "run")
+    cold = _result_dict(workload, protocol, "static", "memo")
+    warm = _result_dict(workload, protocol, "static", "memo")
+    assert run == cold
+    assert run == warm
+
+
+@pytest.mark.parametrize("workload", KIND_COVERING_WORKLOADS)
+@pytest.mark.parametrize("protocol", ["cpelide", "hmg"])
+def test_memo_path_bit_identical_locality_scheduler(protocol, workload):
+    run = _result_dict(workload, protocol, "locality", "run")
+    memo = _result_dict(workload, protocol, "locality", "memo")
+    assert run == memo
+
+
+def test_memo_counters_second_run_hits():
+    """A warm store turns every memoizable kernel into a hit."""
+    config = GPUConfig(num_chiplets=4, scale=SCALE)
+    first = Simulator(config, protocol="cpelide", trace_path="memo").run(
+        build_workload("hotspot", config))
+    second = Simulator(config, protocol="cpelide", trace_path="memo").run(
+        build_workload("hotspot", config))
+    total = len(build_workload("hotspot", config).kernels)
+    assert first.memo_bypasses == 0
+    assert first.memo_hits + first.memo_misses == total
+    assert first.memo_misses > 0
+    assert second.memo_hits == total
+    assert second.memo_misses == 0
+
+
+def test_memo_bypasses_roaming_random_kernels():
+    """bfs's frontier kernels roam (kernel-id-seeded sample), so they
+    must bypass memoization — and the bypass must be counted."""
+    config = GPUConfig(num_chiplets=4, scale=SCALE)
+    workload = build_workload("bfs", config)
+    result = Simulator(config, protocol="cpelide",
+                       trace_path="memo").run(workload)
+    assert result.memo_bypasses > 0
+    assert (result.memo_hits + result.memo_misses
+            + result.memo_bypasses) == len(workload.kernels)
+
+
+def test_memo_counters_not_serialized():
+    """to_dict() must stay bit-identical across trace paths, so the
+    memo diagnostics are dataclass-only fields."""
+    config = GPUConfig(num_chiplets=4, scale=SCALE)
+    result = Simulator(config, protocol="cpelide", trace_path="memo").run(
+        build_workload("hotspot", config))
+    assert result.memo_hits + result.memo_misses > 0
+    dumped = result.to_dict()
+    assert "memo_hits" not in repr(dumped)
+    from repro.gpu.sim import SimulationResult
+    rebuilt = SimulationResult.from_dict(dumped)
+    assert rebuilt.memo_hits == 0
+    assert rebuilt.memo_misses == 0
+    assert rebuilt.memo_bypasses == 0
 
 
 # ---------------------------------------------------------------------------
@@ -273,6 +352,8 @@ def test_trace_path_env_switch(monkeypatch):
     assert Simulator(config).trace_path == "line"
     monkeypatch.setenv("REPRO_TRACE_PATH", "run")
     assert Simulator(config).trace_path == "run"
+    monkeypatch.setenv("REPRO_TRACE_PATH", "memo")
+    assert Simulator(config).trace_path == "memo"
     monkeypatch.setenv("REPRO_TRACE_PATH", "bogus")
     with pytest.raises(ValueError):
         Simulator(config)
