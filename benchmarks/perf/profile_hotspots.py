@@ -61,8 +61,14 @@ def main() -> int:
         print(f"==== memo counters per rep "
               f"({args.workload}/{args.protocol}) ====")
         for rep, (hits, misses, bypasses) in enumerate(memo_counters):
-            print(f"  rep {rep}: {hits} hits, {misses} misses, "
-                  f"{bypasses} bypasses")
+            if hits is None:
+                # Non-memo trace paths report no counters (None), which
+                # is different from a memoized run with zero activity.
+                print(f"  rep {rep}: n/a (trace path "
+                      f"{args.trace_path!r} does not memoize)")
+            else:
+                print(f"  rep {rep}: {hits} hits, {misses} misses, "
+                      f"{bypasses} bypasses")
 
     for sort in ("cumtime", "tottime"):
         out = io.StringIO()

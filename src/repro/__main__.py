@@ -14,6 +14,11 @@ Subcommands:
   iterative sweep (``BENCH_memo.json``). Reports land in
   ``benchmarks/perf/`` with a copy at the repo root for perf-trajectory
   tooling that scans root-level ``BENCH_*.json``.
+* ``check`` — the differential oracle: run the suite across trace paths
+  x protocols, demand bit-identical serialized results and final
+  machine state, and report the first divergent kernel otherwise
+  (``--sanitize`` additionally asserts coherence invariants at every
+  kernel boundary; see ``repro.check``).
 
 ``run`` and ``occupancy`` execute through the sweep engine: ``--jobs N``
 fans simulations out over worker processes, and completed cells are
@@ -202,6 +207,45 @@ def cmd_bench(args) -> int:
     return rc
 
 
+def cmd_check(args) -> int:
+    import dataclasses
+
+    from repro.check.oracle import (
+        DEFAULT_PROTOCOLS,
+        DEFAULT_TRACE_PATHS,
+        run_oracle,
+    )
+
+    config = _config(args)
+    if args.sanitize:
+        config = dataclasses.replace(config, check_invariants=True)
+    workloads = args.workloads or None
+    if args.quick and workloads is None:
+        workloads = list(QUICK_CHECK_WORKLOADS)
+    report = run_oracle(workloads=workloads, protocols=args.protocols,
+                        trace_paths=args.trace_paths, config=config,
+                        scheduler=args.scheduler, progress=_progress)
+    matrix = (f"{report.cells} cells x {len(args.trace_paths)} trace paths "
+              f"({report.runs} simulations)")
+    if report.ok:
+        print(f"oracle OK: {matrix}, all results identical"
+              + (", sanitizer clean" if args.sanitize else ""))
+        return 0
+    print(f"oracle FAILED: {len(report.divergences)} divergence(s) "
+          f"across {matrix}")
+    for divergence in report.divergences:
+        print()
+        print(divergence.describe())
+    return 1
+
+
+#: ``repro check --quick`` workload subset: one representative per
+#: access-pattern family (streaming, stencil, iterative reuse, indirect,
+#: multi-kernel pipeline, low-reuse), kept small enough for CI.
+QUICK_CHECK_WORKLOADS = ("square", "babelstream", "hotspot", "bfs",
+                         "backprop", "nw")
+
+
 def main(argv=None) -> int:
     """Entry point."""
     parser = argparse.ArgumentParser(
@@ -269,9 +313,32 @@ def main(argv=None) -> int:
                          help="memo-vs-run report path "
                               "(default benchmarks/perf/BENCH_memo.json)")
 
+    check_p = sub.add_parser(
+        "check", help="differential oracle: cross-check trace paths x "
+                      "protocols over the workload suite")
+    check_p.add_argument("--workloads", nargs="+", default=None,
+                         choices=WORKLOAD_NAMES + EXTRA_WORKLOADS,
+                         help="workload subset (default: all 24)")
+    check_p.add_argument("--protocols", nargs="+",
+                         default=["baseline", "hmg", "cpelide"],
+                         choices=protocol_names())
+    check_p.add_argument("--trace-paths", nargs="+",
+                         default=["line", "run", "memo"],
+                         choices=("line", "run", "memo"),
+                         help="trace paths to compare; the first is the "
+                              "reference (default: line run memo)")
+    check_p.add_argument("--scheduler", default="static",
+                         choices=("static", "locality"))
+    check_p.add_argument("--sanitize", action="store_true",
+                         help="also run the coherence invariant sanitizer "
+                              "inside every simulation")
+    check_p.add_argument("--quick", action="store_true",
+                         help="reduced workload subset (CI smoke)")
+
     args = parser.parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "trace": cmd_trace,
-                "occupancy": cmd_occupancy, "bench": cmd_bench}
+                "occupancy": cmd_occupancy, "bench": cmd_bench,
+                "check": cmd_check}
     return handlers[args.command](args)
 
 

@@ -1,0 +1,28 @@
+"""Opt-in correctness tooling: the coherence sanitizer and the
+cross-protocol / cross-trace-path differential oracle.
+
+Three result-producing trace paths (line, run, memo) plus a persistent
+result cache give the simulator four ways to diverge silently. This
+package is the correctness backstop:
+
+* :mod:`repro.check.sanitizer` asserts cache-line-level coherence
+  invariants at every kernel boundary (enabled per-config via
+  ``GPUConfig.check_invariants`` or globally via ``REPRO_CHECK=1``);
+* :mod:`repro.check.oracle` runs the workload suite across
+  {line, run, memo} x {baseline, HMG, CPElide} and reports the first
+  divergent kernel with a state diff (``python -m repro check``).
+"""
+
+from repro.check.sanitizer import (
+    CHECK_ENV,
+    CheckError,
+    SyncSanitizer,
+    checks_enabled,
+)
+
+__all__ = [
+    "CHECK_ENV",
+    "CheckError",
+    "SyncSanitizer",
+    "checks_enabled",
+]

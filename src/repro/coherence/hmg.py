@@ -71,6 +71,14 @@ class L2Directory:
             self._entries.move_to_end(region)
         return entry
 
+    def peek(self, region: int) -> Optional[DirectoryEntry]:
+        """Look up a region *without* refreshing LRU order.
+
+        The sanitizer probes the directory between kernels; a
+        :meth:`get` there would reorder evictions and change results.
+        """
+        return self._entries.get(region)
+
     def get_or_insert(self, region: int) -> "tuple[DirectoryEntry, Optional[tuple[int, DirectoryEntry]]]":
         """Return (entry, evicted) where evicted is a displaced
         ``(region, entry)`` pair the caller must invalidate."""

@@ -41,9 +41,12 @@ _SALT_PACKAGES = ("core", "coherence", "cp", "memory", "interconnect",
                   "gpu", "timing", "energy", "workloads", "metrics",
                   "analysis", "hip")
 
-#: Individual modules outside those subpackages that also shape results
-#: (the multi-stream workload builder feeds ``("multistream", ...)`` jobs).
-_SALT_MODULES = ("experiments/multistream.py",)
+#: Individual modules outside those subpackages that also shape results:
+#: the multi-stream workload builder feeds ``("multistream", ...)`` jobs,
+#: and ``engine/spec.py`` shapes every job's cache-key payload (an edit
+#: there can change which payload a key maps to, so it must salt even
+#: though the rest of ``engine/`` does not).
+_SALT_MODULES = ("experiments/multistream.py", "engine/spec.py")
 
 
 @functools.lru_cache(maxsize=1)
@@ -51,19 +54,35 @@ def code_version_salt() -> str:
     """Digest of every simulation-relevant source file.
 
     Hashed once per process; any edit under the :data:`_SALT_PACKAGES`
-    subpackages changes the salt and therefore invalidates prior entries.
+    subpackages or to a :data:`_SALT_MODULES` file changes the salt and
+    therefore invalidates prior entries. A registered path that does not
+    exist is a configuration bug, reported as such rather than leaking a
+    bare ``FileNotFoundError`` from deep inside a sweep.
     """
     import repro
     root = pathlib.Path(repro.__file__).parent
     digest = hashlib.sha256()
     for package in _SALT_PACKAGES:
-        for path in sorted((root / package).rglob("*.py")):
+        package_root = root / package
+        if not package_root.is_dir():
+            raise RuntimeError(
+                f"code_version_salt: salt package {package!r} not found "
+                f"under {root} — update _SALT_PACKAGES in "
+                f"repro/engine/cache.py to match the source tree")
+        for path in sorted(package_root.rglob("*.py")):
             digest.update(path.relative_to(root).as_posix().encode())
             digest.update(path.read_bytes())
     for module in _SALT_MODULES:
         path = root / module
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            raise RuntimeError(
+                f"code_version_salt: salt module {module!r} not found at "
+                f"{path} — update _SALT_MODULES in repro/engine/cache.py "
+                f"to match the source tree") from None
         digest.update(module.encode())
-        digest.update(path.read_bytes())
+        digest.update(data)
     return digest.hexdigest()[:16]
 
 

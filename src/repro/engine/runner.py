@@ -33,8 +33,15 @@ JobResult = Any
 ProgressFn = Callable[[str], None]
 
 
-def _execute_job(job: JobSpec) -> Tuple[Dict[str, Any], float]:
-    """Run one job and return ``(result payload, seconds)``.
+#: Per-run memo counters as transported beside a job payload:
+#: ``(hits, misses, bypasses)``, or ``None`` when the run was not
+#: memoized. Kept *outside* the payload — the serialized dump must stay
+#: bit-identical across trace paths for the cache key round trip.
+MemoCounters = Optional[Tuple[int, int, int]]
+
+
+def _execute_job(job: JobSpec) -> Tuple[Dict[str, Any], MemoCounters, float]:
+    """Run one job and return ``(result payload, memo counters, seconds)``.
 
     Module-level so the process pool can pickle it; imports are local so
     forked workers pay them only when first used.
@@ -43,6 +50,7 @@ def _execute_job(job: JobSpec) -> Tuple[Dict[str, Any], float]:
 
     start = time.perf_counter()
     workload = build_for_job(job.workload, job.config)
+    memo: MemoCounters = None
     if job.kind == "occupancy":
         from repro.analysis.occupancy import profile_table_occupancy
         result = profile_table_occupancy(workload, job.config)
@@ -50,7 +58,13 @@ def _execute_job(job: JobSpec) -> Tuple[Dict[str, Any], float]:
         from repro.gpu.sim import Simulator
         result = Simulator(job.config, job.protocol,
                            scheduler=job.scheduler).run(workload)
-    return result.to_dict(), time.perf_counter() - start
+        if result.memo_hits is not None:
+            # Worker ran the memo trace path (REPRO_TRACE_PATH): the
+            # counters do not survive to_dict(), so carry them beside
+            # the payload and reattach after reconstruction.
+            memo = (result.memo_hits, result.memo_misses,
+                    result.memo_bypasses)
+    return result.to_dict(), memo, time.perf_counter() - start
 
 
 def _reconstruct(job: JobSpec, payload: Dict[str, Any]) -> JobResult:
@@ -189,8 +203,14 @@ class SweepRunner:
             if payload is None:
                 pending.append(index)
             else:
-                outcomes[index] = JobOutcome(
-                    job=job, result=_reconstruct(job, payload), cached=True)
+                result = _reconstruct(job, payload)
+                if hasattr(result, "from_cache"):
+                    # Cache-served simulation results never fabricate
+                    # memo counters: the counters stay None and the
+                    # result is marked as replayed from the ResultCache.
+                    result.from_cache = True
+                outcomes[index] = JobOutcome(job=job, result=result,
+                                             cached=True)
         if self.cache is not None and len(pending) < len(jobs):
             self._emit(f"cache: {len(jobs) - len(pending)}/{len(jobs)} "
                        "jobs already done")
@@ -212,19 +232,23 @@ class SweepRunner:
     # ------------------------------------------------------------------
 
     def _finish(self, job: JobSpec, payload: Dict[str, Any],
-                seconds: float, done: int, total: int) -> JobOutcome:
+                memo: MemoCounters, seconds: float, done: int,
+                total: int) -> JobOutcome:
         if self.cache is not None:
             self.cache.store(job, payload)
         self._emit(f"[{done}/{total}] {job.label} ({seconds:.2f}s)")
-        return JobOutcome(job=job, result=_reconstruct(job, payload),
-                          cached=False, seconds=seconds)
+        result = _reconstruct(job, payload)
+        if memo is not None:
+            result.memo_hits, result.memo_misses, result.memo_bypasses = memo
+        return JobOutcome(job=job, result=result, cached=False,
+                          seconds=seconds)
 
     def _run_serial(self, jobs: List[JobSpec], pending: List[int],
                     outcomes: List[Optional[JobOutcome]]) -> None:
         for done, index in enumerate(pending, start=1):
-            payload, seconds = _execute_job(jobs[index])
-            outcomes[index] = self._finish(jobs[index], payload, seconds,
-                                           done, len(pending))
+            payload, memo, seconds = _execute_job(jobs[index])
+            outcomes[index] = self._finish(jobs[index], payload, memo,
+                                           seconds, done, len(pending))
 
     def _prewarm_traces(self, jobs: List[JobSpec],
                         pending: List[int]) -> None:
@@ -260,8 +284,8 @@ class SweepRunner:
                        for index in pending}
             for done, future in enumerate(as_completed(futures), start=1):
                 index = futures[future]
-                payload, seconds = future.result()
-                outcomes[index] = self._finish(jobs[index], payload,
+                payload, memo, seconds = future.result()
+                outcomes[index] = self._finish(jobs[index], payload, memo,
                                                seconds, done, len(pending))
 
     # ------------------------------------------------------------------

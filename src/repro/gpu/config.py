@@ -110,6 +110,14 @@ class GPUConfig:
     #: studies (the Sec. V-C "aggregate L2 capacity is insufficient"
     #: exceptions).
     footprint_factor: float = 1.0
+    #: Enable the :mod:`repro.check` sanitizer: coherence invariants are
+    #: asserted at every kernel boundary (illegal table transitions,
+    #: stale reads, untracked dirty lines, op sets diverging from table
+    #: state, HMG directory inconsistencies). The ``REPRO_CHECK=1``
+    #: environment variable enables it too. Deliberately part of the
+    #: config (and therefore of memo-store contexts and engine cache
+    #: keys): checked and unchecked runs must never share cached results.
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.num_chiplets <= 0:

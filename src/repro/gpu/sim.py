@@ -23,6 +23,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.check.sanitizer import SyncSanitizer, checks_enabled
 from repro.coherence.base import CoherenceProtocol, make_protocol
 from repro.cp.driver import GPUDriver
 from repro.cp.global_cp import GlobalCP
@@ -58,6 +59,25 @@ DEFAULT_TRACE_PATH = "run"
 _TRACE_PATHS = ("line", "run", "memo")
 
 
+def resolve_trace_path(trace_path: Optional[str] = None) -> str:
+    """Resolve the effective trace path.
+
+    Precedence, highest first: the explicit ``trace_path`` argument,
+    then the ``REPRO_TRACE_PATH`` environment variable (read at call
+    time, so forked sweep workers honor the environment they inherit),
+    then :data:`DEFAULT_TRACE_PATH`. An empty environment variable
+    counts as unset. Raises :class:`ValueError` on an unknown name —
+    including an unknown *explicit* name when the environment holds a
+    valid one, so typos never silently fall back.
+    """
+    if trace_path is None:
+        trace_path = os.environ.get(TRACE_PATH_ENV) or DEFAULT_TRACE_PATH
+    if trace_path not in _TRACE_PATHS:
+        raise ValueError(
+            f"trace_path must be one of {_TRACE_PATHS}, got {trace_path!r}")
+    return trace_path
+
+
 @dataclass
 class SimulationResult:
     """Outcome of one workload run."""
@@ -68,14 +88,19 @@ class SimulationResult:
     protocol: str
     num_chiplets: int
     #: Memo trace-path diagnostics (kernels replayed from / recorded
-    #: into / excluded from the memo store). Always zero on the line and
-    #: run paths. Deliberately *not* serialized by :meth:`to_dict`: the
-    #: dump must stay bit-identical across trace paths (and across warm
-    #: vs. cold memo stores) for the differential tests and the engine's
-    #: result cache.
-    memo_hits: int = 0
-    memo_misses: int = 0
-    memo_bypasses: int = 0
+    #: into / excluded from the memo store). ``None`` whenever the run
+    #: was not memoized — the line and run paths, and results rebuilt
+    #: from a serialized dump (the counters are deliberately *not* part
+    #: of :meth:`to_dict`: the dump must stay bit-identical across trace
+    #: paths and across warm vs. cold memo stores for the differential
+    #: tests and the engine's result cache). Consumers must treat
+    #: ``None`` as "not applicable", never as zero activity.
+    memo_hits: Optional[int] = None
+    memo_misses: Optional[int] = None
+    memo_bypasses: Optional[int] = None
+    #: True when the engine served this result from its persistent
+    #: :class:`~repro.engine.cache.ResultCache` instead of simulating.
+    from_cache: bool = False
 
     @property
     def cycles(self) -> float:
@@ -135,19 +160,24 @@ class Simulator:
         if scheduler not in ("static", "locality"):
             raise ValueError(
                 f"scheduler must be 'static' or 'locality', got {scheduler!r}")
-        if trace_path is None:
-            trace_path = os.environ.get(TRACE_PATH_ENV, DEFAULT_TRACE_PATH)
-        if trace_path not in _TRACE_PATHS:
-            raise ValueError(
-                f"trace_path must be one of {_TRACE_PATHS}, got {trace_path!r}")
         self.config = config
         self.protocol_name = protocol
         self.scheduler = scheduler
-        self.trace_path = trace_path
+        self.trace_path = resolve_trace_path(trace_path)
         self.energy_model = energy_model or EnergyModel()
         #: Trace lines swept by the most recent :meth:`run` (all kernels);
         #: the bench harness reads this for its lines/sec figures.
         self.last_trace_lines = 0
+        #: Whether the :mod:`repro.check` sanitizer runs (config flag or
+        #: ``REPRO_CHECK`` environment, resolved at construction).
+        self.check_enabled = checks_enabled(config)
+        self._sanitizer = None
+        #: The most recent run's device / protocol / sanitizer, retained
+        #: for post-run state inspection (the differential oracle
+        #: fingerprints final cache/table/directory state from these).
+        self.last_device: Optional[Device] = None
+        self.last_protocol: Optional[CoherenceProtocol] = None
+        self.last_sanitizer = None
 
     # ------------------------------------------------------------------
 
@@ -168,6 +198,11 @@ class Simulator:
                              wg_scheduler=wg_scheduler)
         driver = GPUDriver(config)
         timing = TimingModel(config)
+        self.last_device = device
+        self.last_protocol = protocol
+        self._sanitizer = (SyncSanitizer(config, device, protocol)
+                           if self.check_enabled else None)
+        self.last_sanitizer = self._sanitizer
         memoizer = self._make_memoizer(device, protocol, global_cp, driver,
                                        wg_scheduler)
         metrics = RunMetrics(workload=workload.name,
@@ -212,6 +247,7 @@ class Simulator:
             result.memo_hits = memoizer.hits
             result.memo_misses = memoizer.misses
             result.memo_bypasses = memoizer.bypasses
+        self._sanitizer = None
         return result
 
     def _make_memoizer(self, device, protocol, global_cp, driver,
@@ -235,14 +271,21 @@ class Simulator:
         packet = driver.enqueue_kernel(kernel)
         device.begin_kernel()
         driver.submit(global_cp)
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.before_launch()
         decision = global_cp.launch_next()
         assert decision is not None
         placement = decision.placement
+        if sanitizer is not None:
+            sanitizer.after_launch(packet, placement, decision)
 
         total_lines = self._run_trace(kernel, packet.kernel_id, device,
                                       protocol, placement)
         self._record_lds(kernel, device, placement, total_lines)
         completion = global_cp.complete(packet, placement)
+        if sanitizer is not None:
+            sanitizer.after_kernel(packet)
 
         lines_flushed = decision.lines_flushed + completion.lines_flushed
         lines_invalidated = (decision.lines_invalidated
@@ -501,6 +544,8 @@ class Simulator:
             ack = device.local_cps[op.chiplet].execute(op)
             flushed += ack.lines_flushed
             invalidated += ack.lines_invalidated
+        if self._sanitizer is not None:
+            self._sanitizer.after_run(ops)
         if flushed == 0 and invalidated == 0:
             return None
         sync_cycles = timing.sync_cycles(flushed, invalidated,

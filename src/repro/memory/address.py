@@ -352,3 +352,12 @@ class HomeMap:
         for home in self._homes.values():
             hist[home] += 1
         return hist
+
+    def page_homes(self) -> Tuple[Tuple[int, int], ...]:
+        """Every ``(page, home)`` assignment, sorted by page.
+
+        A pure read for end-of-run state comparison (the differential
+        oracle fingerprints the placement with it); sorting makes the
+        fingerprint independent of first-touch order.
+        """
+        return tuple(sorted(self._homes.items()))

@@ -762,6 +762,16 @@ class SetAssocCache:
         cset = self._sets.get(line % self.num_sets)
         return bool(cset) and cset.get(line, False)
 
+    def iter_lines(self):
+        """Yield every resident ``(line, dirty)`` pair.
+
+        A pure read (no LRU refresh, no stats) — the sanitizer walks the
+        caches between kernels and must not perturb replacement state.
+        Callers must not mutate the cache while iterating.
+        """
+        for cset in self._sets.values():
+            yield from cset.items()
+
     @property
     def capacity_lines(self) -> int:
         """Total capacity in lines."""

@@ -142,9 +142,11 @@ def test_memo_counters_not_serialized():
     assert "memo_hits" not in repr(dumped)
     from repro.gpu.sim import SimulationResult
     rebuilt = SimulationResult.from_dict(dumped)
-    assert rebuilt.memo_hits == 0
-    assert rebuilt.memo_misses == 0
-    assert rebuilt.memo_bypasses == 0
+    # Reconstructed results must not fabricate counters: None means "not
+    # memoized / unknown", which is distinct from zero memo activity.
+    assert rebuilt.memo_hits is None
+    assert rebuilt.memo_misses is None
+    assert rebuilt.memo_bypasses is None
 
 
 # ---------------------------------------------------------------------------

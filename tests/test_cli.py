@@ -45,6 +45,26 @@ class TestReproCLI:
         with pytest.raises(SystemExit):
             repro_main(["run", "crysis"])
 
+    def test_check_small_matrix(self, capsys):
+        rc = repro_main(["--scale", "0.015625", "check",
+                         "--workloads", "square",
+                         "--protocols", "cpelide",
+                         "--trace-paths", "line", "run"])
+        assert rc == 0
+        assert "oracle OK" in capsys.readouterr().out
+
+    def test_check_with_sanitizer(self, capsys):
+        rc = repro_main(["--scale", "0.015625", "check", "--sanitize",
+                         "--workloads", "square",
+                         "--protocols", "cpelide",
+                         "--trace-paths", "line", "run"])
+        assert rc == 0
+        assert "oracle OK" in capsys.readouterr().out
+
+    def test_check_rejects_unknown_trace_path(self):
+        with pytest.raises(SystemExit):
+            repro_main(["check", "--trace-paths", "line", "bogus"])
+
     def test_chiplet_override(self, capsys):
         rc = repro_main(["--scale", "0.015625", "--chiplets", "2",
                          "run", "square", "--protocols", "baseline"])

@@ -1,0 +1,173 @@
+"""Round-trip losslessness of every result dataclass (satellite S4).
+
+Each result type's ``to_dict`` output, pushed through an actual JSON
+encode/decode (the engine's cache and worker transport both do), must
+rebuild an equal object via ``from_dict``. Fields deliberately excluded
+from serialization are pinned by exact set equality, so adding a new
+field without either serializing it or updating the exclusion list
+fails here instead of silently dropping data in the result cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.occupancy import TableOccupancyProfile
+from repro.gpu.config import GPUConfig
+from repro.gpu.sim import SimulationResult, Simulator
+from repro.interconnect.noc import FlitParams, TrafficMeter
+from repro.metrics.stats import (
+    AccessCounts,
+    KernelMetrics,
+    RunMetrics,
+    SyncCounts,
+)
+from repro.workloads.suite import build_workload
+
+from tests.conftest import TEST_SCALE
+
+#: SimulationResult fields that are runtime diagnostics/provenance, not
+#: result identity. Everything else must survive serialization.
+SIM_RESULT_UNSERIALIZED = {"memo_hits", "memo_misses", "memo_bypasses",
+                           "from_cache"}
+
+counters = st.integers(min_value=0, max_value=2**40)
+cycles = st.floats(min_value=0, max_value=1e12,
+                   allow_nan=False, allow_infinity=False)
+names = st.text(min_size=0, max_size=12)
+
+
+def roundtrip(obj):
+    """from_dict(json-wire(to_dict(obj))) — the real cache round trip."""
+    return type(obj).from_dict(json.loads(json.dumps(obj.to_dict())))
+
+
+def fill(cls, ints=(), floats=(), **fixed):
+    """Strategy building ``cls`` with drawn counter/cycle fields."""
+    strategies = {name: counters for name in ints}
+    strategies.update({name: cycles for name in floats})
+    return st.builds(cls, **strategies, **fixed)
+
+
+def int_fields(cls):
+    return [f.name for f in dataclasses.fields(cls)]
+
+
+access_counts = fill(AccessCounts, ints=int_fields(AccessCounts))
+sync_counts = fill(SyncCounts, ints=int_fields(SyncCounts))
+traffic_meters = st.builds(
+    TrafficMeter,
+    params=st.builds(FlitParams,
+                     flit_bytes=st.integers(min_value=1, max_value=256),
+                     line_size=st.integers(min_value=1, max_value=1024)),
+    l1_l2=counters, l2_l3=counters, remote=counters)
+kernel_metrics = st.builds(
+    KernelMetrics,
+    kernel_name=names, kernel_index=counters,
+    cycles=cycles, compute_cycles=cycles, memory_cycles=cycles,
+    sync_cycles=cycles, cp_overhead_cycles=cycles,
+    accesses=access_counts, sync=sync_counts, traffic=traffic_meters,
+    chiplets_used=st.integers(min_value=0, max_value=64))
+run_metrics = st.builds(
+    RunMetrics,
+    workload=names, protocol=names,
+    num_chiplets=st.integers(min_value=1, max_value=64),
+    kernels=st.lists(kernel_metrics, max_size=3))
+occupancy_profiles = st.builds(
+    TableOccupancyProfile,
+    workload=names, num_kernels=counters,
+    occupancy=st.lists(counters, max_size=8),
+    peak_entries=counters, capacity=counters,
+    overflow_evictions=counters,
+    acquires_issued=counters, releases_issued=counters,
+    acquires_elided=counters, releases_elided=counters)
+simulation_results = st.builds(
+    SimulationResult,
+    metrics=run_metrics,
+    energy=st.dictionaries(names, cycles, max_size=4),
+    wall_cycles=cycles, protocol=names,
+    num_chiplets=st.integers(min_value=1, max_value=64))
+
+
+class TestPropertyRoundTrips:
+    @settings(max_examples=50)
+    @given(access_counts)
+    def test_access_counts(self, obj):
+        assert roundtrip(obj) == obj
+
+    @settings(max_examples=50)
+    @given(sync_counts)
+    def test_sync_counts(self, obj):
+        assert roundtrip(obj) == obj
+
+    @settings(max_examples=50)
+    @given(traffic_meters)
+    def test_traffic_meter(self, obj):
+        assert roundtrip(obj) == obj
+
+    @settings(max_examples=50)
+    @given(kernel_metrics)
+    def test_kernel_metrics(self, obj):
+        assert roundtrip(obj) == obj
+
+    @settings(max_examples=25)
+    @given(run_metrics)
+    def test_run_metrics(self, obj):
+        assert roundtrip(obj) == obj
+
+    @settings(max_examples=50)
+    @given(occupancy_profiles)
+    def test_occupancy_profile(self, obj):
+        assert roundtrip(obj) == obj
+
+    @settings(max_examples=25)
+    @given(simulation_results)
+    def test_simulation_result(self, obj):
+        assert roundtrip(obj) == obj
+
+
+class TestFieldCoverage:
+    """New-field tripwires: every dataclass field is either in the
+    ``to_dict`` payload or on an explicit exclusion list."""
+
+    def test_counter_dataclasses_serialize_every_field(self):
+        for cls in (AccessCounts, SyncCounts, TableOccupancyProfile):
+            names_ = {f.name for f in dataclasses.fields(cls)}
+            assert set(cls().to_dict() if cls is not TableOccupancyProfile
+                       else cls(workload="w", num_kernels=0).to_dict()) \
+                == names_
+
+    def test_traffic_meter_payload_covers_state(self):
+        payload = TrafficMeter().to_dict()
+        assert set(payload) == {"l1_l2", "l2_l3", "remote",
+                                "flit_bytes", "line_size"}
+
+    def test_simulation_result_exclusions_are_exact(self):
+        field_names = {f.name for f in dataclasses.fields(SimulationResult)}
+        result = SimulationResult(
+            metrics=RunMetrics(workload="w", protocol="p", num_chiplets=1),
+            energy={}, wall_cycles=0.0, protocol="p", num_chiplets=1)
+        serialized = set(result.to_dict())
+        assert field_names - serialized == SIM_RESULT_UNSERIALIZED
+        assert serialized <= field_names
+
+
+class TestRealRunRoundTrip:
+    def test_simulation_result_from_real_run(self):
+        config = GPUConfig(num_chiplets=4, scale=TEST_SCALE)
+        result = Simulator(config, "cpelide").run(
+            build_workload("square", config))
+        rebuilt = roundtrip(result)
+        assert rebuilt == result
+        assert rebuilt.to_dict() == result.to_dict()
+
+    def test_occupancy_profile_from_real_run(self):
+        from repro.analysis.occupancy import profile_table_occupancy
+
+        config = GPUConfig(num_chiplets=4, scale=TEST_SCALE)
+        profile = profile_table_occupancy(
+            build_workload("square", config), config)
+        assert roundtrip(profile) == profile
