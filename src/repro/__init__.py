@@ -58,7 +58,15 @@ from repro.engine import (
     SweepRunner,
     SweepSpec,
 )
-from repro.api import default_config, simulate, sweep
+from repro.errors import (
+    CacheError,
+    ConfigError,
+    InvariantViolation,
+    OracleDivergence,
+    ReproError,
+)
+from repro.obs import EventTracer, MetricRegistry, NULL_TRACER, Tracer
+from repro.api import __api_version__, default_config, simulate, sweep
 
 __version__ = "1.0.0"
 
@@ -107,5 +115,15 @@ __all__ = [
     "default_config",
     "simulate",
     "sweep",
+    "CacheError",
+    "ConfigError",
+    "EventTracer",
+    "InvariantViolation",
+    "MetricRegistry",
+    "NULL_TRACER",
+    "OracleDivergence",
+    "ReproError",
+    "Tracer",
+    "__api_version__",
     "__version__",
 ]

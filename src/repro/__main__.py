@@ -5,15 +5,26 @@ Subcommands:
 * ``list`` — the registered workloads and protocols.
 * ``run <workload>`` — simulate one workload under one or more protocols
   and print a comparison table.
-* ``trace <workload>`` — print the sync-operation trace (which
-  acquires/releases fired, and why).
+* ``trace <workload> [<protocol>]`` — run one simulation with an
+  :class:`~repro.obs.EventTracer` attached and export the structured
+  event trace: ``--format text`` (default: event census, aggregated
+  metrics, and the human-readable sync trace), ``chrome`` (Perfetto /
+  ``chrome://tracing`` ``trace_event`` JSON), ``jsonl``, ``csv``
+  (metric distributions), or ``sync`` (the legacy analytic sync-op
+  trace). ``--out FILE`` writes to a file instead of stdout.
 * ``occupancy [<workload> ...]`` — Chiplet Coherence Table occupancy.
 * ``bench`` — time the trace paths against each other: the batched run
   path vs the per-line reference on the partitioned sweep
-  (``BENCH_trace.json``) and the memoized path vs the run path on the
-  iterative sweep (``BENCH_memo.json``). Reports land in
-  ``benchmarks/perf/`` with a copy at the repo root for perf-trajectory
-  tooling that scans root-level ``BENCH_*.json``.
+  (``BENCH_trace.json``), the memoized path vs the run path on the
+  iterative sweep (``BENCH_memo.json``), and the tracing overhead of
+  the disabled/recording observability hooks (``--sweep obs``,
+  ``BENCH_obs.json``). Reports land in ``benchmarks/perf/`` with a
+  copy at the repo root for perf-trajectory tooling that scans
+  root-level ``BENCH_*.json``.
+
+``run`` and ``occupancy`` also accept ``--trace-out FILE`` to attach an
+observability tracer to the sweep and export it (format inferred from
+the extension: ``.json`` → Chrome trace, ``.csv`` → CSV, else JSONL).
 * ``check`` — the differential oracle: run the suite across trace paths
   x protocols, demand bit-identical serialized results and final
   machine state, and report the first divergent kernel otherwise
@@ -56,6 +67,26 @@ def _progress(message: str) -> None:
     print(message, file=sys.stderr)
 
 
+def _emit(payload: str, out: str) -> None:
+    """Write ``payload`` to stdout (``out`` is ``-``) or to a file."""
+    if not payload.endswith("\n"):
+        payload += "\n"
+    if out in ("-", ""):
+        sys.stdout.write(payload)
+        return
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(payload)
+    _progress(f"wrote {out}")
+
+
+def _write_sweep_trace(tracer, out: str) -> None:
+    """Export a sweep CLI's ``--trace-out`` tracer (format by extension)."""
+    from repro.obs import write_trace
+
+    fmt = write_trace(tracer, out)
+    _progress(f"wrote {out} ({fmt}, {len(tracer.events)} events)")
+
+
 def cmd_list(args) -> int:
     print("workloads (Table II):")
     for name in WORKLOAD_NAMES:
@@ -74,6 +105,10 @@ def cmd_run(args) -> int:
     from repro.gpu.config import monolithic_equivalent
 
     config = _config(args)
+    tracer = None
+    if args.trace_out:
+        from repro.obs import EventTracer
+        tracer = EventTracer()
     # The monolithic comparator models a single-chiplet GPU of the same
     # aggregate capacity; give it its own config cell instead of crashing
     # on the multi-chiplet one.
@@ -84,7 +119,7 @@ def cmd_run(args) -> int:
         res = sweep(workloads=(args.workload,), protocols=regular,
                     configs=(config,), scheduler=args.scheduler,
                     jobs=args.jobs, cache=not args.no_cache,
-                    progress=_progress)
+                    progress=_progress, tracer=tracer)
         reports.append(res.report)
         for protocol in regular:
             results[protocol] = res.get(args.workload, protocol)
@@ -92,7 +127,8 @@ def cmd_run(args) -> int:
         res = sweep(workloads=(args.workload,), protocols=("monolithic",),
                     configs=(monolithic_equivalent(config),),
                     scheduler=args.scheduler, jobs=args.jobs,
-                    cache=not args.no_cache, progress=_progress)
+                    cache=not args.no_cache, progress=_progress,
+                    tracer=tracer)
         reports.append(res.report)
         results["monolithic"] = res.get(args.workload, "monolithic")
     rows: List[List[object]] = []
@@ -120,24 +156,59 @@ def cmd_run(args) -> int:
                f"(scale {config.scale:g})")))
     for report in reports:
         print(report.summary(), file=sys.stderr)
+    if tracer is not None:
+        _write_sweep_trace(tracer, args.trace_out)
     return 0
 
 
 def cmd_trace(args) -> int:
+    import json
+
     config = _config(args)
+    protocol = args.protocol or (args.protocols[0] if args.protocols
+                                 else "cpelide")
     workload = build_workload(args.workload, config)
-    trace = trace_sync_ops(workload, config, args.protocols[0])
-    print(trace.render(limit=args.limit))
+    if args.format == "sync":
+        trace = trace_sync_ops(workload, config, protocol)
+        _emit(trace.render(limit=args.limit), args.out)
+        return 0
+    from repro.api import simulate
+    from repro.obs import EventTracer
+    from repro.obs.export import (
+        chrome_trace,
+        distributions_csv,
+        events_jsonl,
+        text_summary,
+    )
+
+    tracer = EventTracer()
+    simulate(workload, protocol, config=config, scheduler=args.scheduler,
+             trace_path=args.trace_path, tracer=tracer)
+    if args.format == "chrome":
+        payload = json.dumps(chrome_trace(tracer))
+    elif args.format == "jsonl":
+        payload = events_jsonl(tracer.events)
+    elif args.format == "csv":
+        payload = distributions_csv(tracer.metrics.aggregate())
+    else:
+        payload = text_summary(tracer, limit=args.limit)
+    _emit(payload, args.out)
     return 0
 
 
 def cmd_occupancy(args) -> int:
+    tracer = None
+    if args.trace_out:
+        from repro.obs import EventTracer
+        tracer = EventTracer()
     profiles = occupancy_experiment.run(
         workloads=args.workloads or None,
         scale=DEFAULT_SCALE if args.scale is None else args.scale,
         num_chiplets=args.chiplets, jobs=args.jobs,
-        cache=not args.no_cache, progress=_progress)
+        cache=not args.no_cache, progress=_progress, tracer=tracer)
     print(occupancy_experiment.report(profiles))
+    if tracer is not None:
+        _write_sweep_trace(tracer, args.trace_out)
     return 0
 
 
@@ -204,6 +275,29 @@ def cmd_bench(args) -> int:
         print(bench.summarize_memo(report))
         if args.check:
             rc |= _check_speedup(report, "memo-vs-run", args.min_speedup)
+    if args.sweep == "obs":
+        import json
+        import os
+
+        _progress(f"benchmarking disabled vs recording tracer at scale "
+                  f"{scale:g} ({args.chiplets} chiplets, "
+                  f"best of {repeats})")
+        report = bench.run_obs_bench(scale=scale, chiplets=args.chiplets,
+                                     repeats=repeats, workloads=workloads,
+                                     progress=_progress)
+        _write_bench_report(report, args.obs_out)
+        print(bench.summarize_obs(report))
+        if args.check:
+            if not os.path.exists(args.out):
+                _progress(f"obs overhead check skipped: no line-vs-run "
+                          f"reference report at {args.out}")
+            else:
+                with open(args.out, encoding="utf-8") as fh:
+                    reference = json.load(fh)
+                ok, message = bench.check_obs_overhead(
+                    report, reference, tolerance=args.max_overhead)
+                _progress(("OK: " if ok else "FAIL: ") + message)
+                rc |= 0 if ok else 1
     return rc
 
 
@@ -271,24 +365,57 @@ def main(argv=None) -> int:
                        choices=protocol_names())
     run_p.add_argument("--scheduler", default="static",
                        choices=("static", "locality"))
+    run_p.add_argument("--trace-out", default=None,
+                       help="attach an observability tracer and export "
+                            "the event trace to this file (.json -> "
+                            "Chrome/Perfetto, .csv -> distributions, "
+                            "else JSONL)")
 
-    trace_p = sub.add_parser("trace", help="print the sync-op trace")
+    trace_p = sub.add_parser(
+        "trace", help="run one simulation with the event tracer and "
+                      "export the trace")
     trace_p.add_argument("workload", choices=WORKLOAD_NAMES + EXTRA_WORKLOADS)
-    trace_p.add_argument("--protocols", nargs="+", default=["cpelide"],
-                         choices=protocol_names())
-    trace_p.add_argument("--limit", type=int, default=40)
+    trace_p.add_argument("protocol", nargs="?", default=None,
+                         choices=protocol_names(),
+                         help="protocol to trace (default cpelide)")
+    trace_p.add_argument("--protocols", nargs="+", default=None,
+                         choices=protocol_names(),
+                         help="legacy spelling of the protocol argument "
+                              "(first entry is used)")
+    trace_p.add_argument("--format", default="text",
+                         choices=("text", "chrome", "jsonl", "csv", "sync"),
+                         help="export format: human-readable summary "
+                              "with the sync trace (default), Chrome "
+                              "trace_event JSON for Perfetto, JSON "
+                              "lines, metric-distribution CSV, or the "
+                              "legacy analytic sync-op trace")
+    trace_p.add_argument("--out", default="-",
+                         help="output file ('-' = stdout, the default)")
+    trace_p.add_argument("--limit", type=int, default=40,
+                         help="sync-trace entries to show in "
+                              "text/sync formats (default 40)")
+    trace_p.add_argument("--trace-path", default=None,
+                         choices=("line", "run", "memo"),
+                         help="trace representation to simulate with "
+                              "(default: REPRO_TRACE_PATH or 'run')")
+    trace_p.add_argument("--scheduler", default="static",
+                         choices=("static", "locality"))
 
     occ_p = sub.add_parser("occupancy", help="coherence-table occupancy")
     occ_p.add_argument("workloads", nargs="*",
                        help="workload subset (default: all 24)")
+    occ_p.add_argument("--trace-out", default=None,
+                       help="attach an observability tracer and export "
+                            "the event trace to this file")
 
     bench_p = sub.add_parser(
         "bench", help="time the trace paths against each other")
     bench_p.add_argument("--sweep", default="both",
-                         choices=("trace", "memo", "both"),
+                         choices=("trace", "memo", "both", "obs"),
                          help="which comparison to run: line-vs-run "
-                              "('trace'), memo-vs-run ('memo'), or both "
-                              "(default)")
+                              "('trace'), memo-vs-run ('memo'), both "
+                              "(default), or disabled-vs-recording "
+                              "tracer overhead ('obs')")
     bench_p.add_argument("--workloads", nargs="+", default=None,
                          choices=WORKLOAD_NAMES + EXTRA_WORKLOADS,
                          help="workload subset (default: each sweep's "
@@ -312,6 +439,15 @@ def main(argv=None) -> int:
                          default="benchmarks/perf/BENCH_memo.json",
                          help="memo-vs-run report path "
                               "(default benchmarks/perf/BENCH_memo.json)")
+    bench_p.add_argument("--obs-out",
+                         default="benchmarks/perf/BENCH_obs.json",
+                         help="tracing-overhead report path "
+                              "(default benchmarks/perf/BENCH_obs.json)")
+    bench_p.add_argument("--max-overhead", type=float, default=0.02,
+                         help="with --sweep obs --check: allowed "
+                              "disabled-tracer overhead vs the "
+                              "line-vs-run report at --out "
+                              "(default 0.02 = 2%%)")
 
     check_p = sub.add_parser(
         "check", help="differential oracle: cross-check trace paths x "

@@ -19,6 +19,12 @@ from here instead of reaching into ``repro.gpu``, ``repro.workloads``,
 The commonly-needed building blocks (:class:`GPUConfig`,
 :func:`build_workload`, :func:`protocol_names`, :class:`HipRuntime`, …)
 are re-exported so one import serves a typical script.
+
+This surface is versioned: :data:`__api_version__` bumps whenever a
+documented signature changes. Everything in ``__all__`` is stable;
+anything else reachable through this module resolves via a deprecation
+shim (see ``__getattr__``) and warns, pointing at the name's canonical
+deep module.
 """
 
 from __future__ import annotations
@@ -26,6 +32,20 @@ from __future__ import annotations
 from typing import Optional, Sequence, Union
 
 from repro.coherence.base import make_protocol, protocol_names
+from repro.errors import (
+    CacheError,
+    ConfigError,
+    InvariantViolation,
+    OracleDivergence,
+    ReproError,
+)
+from repro.obs import (
+    EventTracer,
+    MetricRegistry,
+    NULL_TRACER,
+    Tracer,
+    write_trace,
+)
 from repro.engine.cache import ResultCache, default_cache_dir
 from repro.engine.runner import (
     ProgressFn,
@@ -51,22 +71,38 @@ from repro.workloads.suite import (
     build_workload,
 )
 
+#: Version of the documented :mod:`repro.api` surface. Bumped to ``2.0``
+#: with the keyword-only ``simulate``/``sweep`` signatures, the
+#: ``trace_path=``/``tracer=`` parameters, and the :mod:`repro.errors`
+#: hierarchy.
+__api_version__ = "2.0"
+
 __all__ = [
+    "CacheError",
+    "ConfigError",
     "DEFAULT_PROTOCOLS",
     "DEFAULT_SCALE",
     "EXTRA_WORKLOADS",
+    "EventTracer",
     "GPUConfig",
     "HIGH_REUSE",
     "HipRuntime",
+    "InvariantViolation",
     "LOW_REUSE",
+    "MetricRegistry",
+    "NULL_TRACER",
+    "OracleDivergence",
+    "ReproError",
     "ResultCache",
     "SimulationResult",
     "Simulator",
     "SweepReport",
     "SweepResult",
     "SweepSpec",
+    "Tracer",
     "WORKLOAD_NAMES",
     "Workload",
+    "__api_version__",
     "build_workload",
     "default_cache_dir",
     "default_config",
@@ -75,7 +111,46 @@ __all__ = [
     "protocol_names",
     "simulate",
     "sweep",
+    "write_trace",
 ]
+
+#: Deep-import names historically reached through ``repro.api`` (or its
+#: wildcard re-exports) that are *not* part of the stable surface.
+#: ``repro.api.<name>`` still resolves — via ``__getattr__`` below — but
+#: emits a :class:`DeprecationWarning` naming the canonical module, so
+#: scripts migrate to one stable, versioned import surface.
+_DEEP_IMPORT_SHIMS = {
+    "CoherenceProtocol": "repro.coherence.base",
+    "Device": "repro.gpu.device",
+    "EnergyModel": "repro.energy.model",
+    "JobSpec": "repro.engine.spec",
+    "Kernel": "repro.workloads.base",
+    "KernelArg": "repro.workloads.base",
+    "KernelMetrics": "repro.metrics.stats",
+    "KernelPacket": "repro.cp.packets",
+    "Placement": "repro.cp.wg_scheduler",
+    "RunMetrics": "repro.metrics.stats",
+    "TimingModel": "repro.timing.model",
+    "resolve_trace_path": "repro.gpu.sim",
+    "trace_sync_ops": "repro.analysis",
+}
+
+
+def __getattr__(name: str):
+    """Deprecation shim for legacy deep-import names (PEP 562)."""
+    target = _DEEP_IMPORT_SHIMS.get(name)
+    if target is None:
+        raise AttributeError(
+            f"module 'repro.api' has no attribute {name!r}")
+    import importlib
+    import warnings
+
+    warnings.warn(
+        f"repro.api.{name} is deprecated; import it from its canonical "
+        f"module {target} instead (the stable repro.api surface is "
+        f"__all__, api version {__api_version__})",
+        DeprecationWarning, stacklevel=2)
+    return getattr(importlib.import_module(target), name)
 
 
 def default_config(num_chiplets: int = 4, scale: float = DEFAULT_SCALE,
@@ -89,25 +164,42 @@ def default_config(num_chiplets: int = 4, scale: float = DEFAULT_SCALE,
 
 def simulate(workload: Union[str, Workload],
              protocol: str = "cpelide",
+             *,
              config: Optional[GPUConfig] = None,
              scheduler: str = "static",
-             *,
              cache: Union[bool, ResultCache] = False,
-             jobs: int = 1) -> SimulationResult:
+             jobs: int = 1,
+             trace_path: Optional[str] = None,
+             tracer: Optional[Tracer] = None) -> SimulationResult:
     """Run one workload under one protocol and return its result.
 
     ``workload`` is a registry name (see :data:`WORKLOAD_NAMES`) or an
     already-built :class:`Workload`. Named workloads route through the
     sweep engine, so ``cache=True`` serves repeat runs from the on-disk
     result cache; ``Workload`` instances run directly (they have no
-    stable cache identity).
+    stable cache identity, so combining one with ``cache=True`` raises
+    :class:`~repro.errors.ConfigError`).
+
+    All optional parameters are keyword-only (api version 2.0).
+    ``trace_path`` selects the trace representation (``line``/``run``/
+    ``memo``; default per ``REPRO_TRACE_PATH``). ``tracer`` attaches an
+    observability sink (e.g. :class:`~repro.obs.EventTracer`) — a pure
+    observer; results are bit-identical with or without it.
     """
     config = config or default_config()
     if isinstance(workload, Workload):
-        return Simulator(config, protocol, scheduler=scheduler).run(workload)
+        if cache:
+            raise ConfigError(
+                "simulate(cache=...) requires a registry-named workload: "
+                "Workload instances bypass the sweep engine and have no "
+                "stable cache identity, so the flag cannot be honored. "
+                "Pass the workload's registry name, or drop cache.")
+        return Simulator(config, protocol, scheduler=scheduler,
+                         trace_path=trace_path, tracer=tracer).run(workload)
     spec = SweepSpec(workloads=(workload,), protocols=(protocol,),
-                     configs=(config,), scheduler=scheduler)
-    runner = SweepRunner(jobs=jobs, cache=cache)
+                     configs=(config,), scheduler=scheduler,
+                     trace_path=trace_path)
+    runner = SweepRunner(jobs=jobs, cache=cache, tracer=tracer)
     return runner.run(spec).outcomes[0].result
 
 
@@ -122,7 +214,9 @@ def sweep(spec: Optional[SweepSpec] = None,
           jobs: int = 1,
           cache: Union[bool, ResultCache] = True,
           cache_dir=None,
-          progress: Optional[ProgressFn] = None) -> SweepResult:
+          progress: Optional[ProgressFn] = None,
+          trace_path: Optional[str] = None,
+          tracer: Optional[Tracer] = None) -> SweepResult:
     """Run a declarative sweep through the parallel engine.
 
     Pass a prebuilt :class:`SweepSpec`, or describe the grid by keyword
@@ -130,6 +224,11 @@ def sweep(spec: Optional[SweepSpec] = None,
     sizes the worker pool (1 = serial, 0/None = one per CPU); ``cache``
     (default on) serves completed cells from the on-disk result cache.
     Results arrive in spec order regardless of completion order.
+
+    ``trace_path`` selects the trace representation for every cell;
+    ``tracer`` attaches an observability sink. Serial sweeps (``jobs=1``)
+    record full kernel-level detail; parallel sweeps record sweep-cell
+    events only (tracers cannot cross the fork boundary).
     """
     if spec is None:
         if configs is not None:
@@ -137,11 +236,15 @@ def sweep(spec: Optional[SweepSpec] = None,
                 workloads = tuple(WORKLOAD_NAMES)
             spec = SweepSpec(workloads=tuple(workloads),
                              protocols=tuple(protocols),
-                             configs=tuple(configs), scheduler=scheduler)
+                             configs=tuple(configs), scheduler=scheduler,
+                             trace_path=trace_path)
         else:
             spec = SweepSpec.grid(workloads=workloads, protocols=protocols,
                                   chiplet_counts=chiplet_counts, scale=scale,
-                                  scheduler=scheduler)
+                                  scheduler=scheduler, trace_path=trace_path)
+    elif trace_path is not None and spec.trace_path != trace_path:
+        import dataclasses
+        spec = dataclasses.replace(spec, trace_path=trace_path)
     runner = SweepRunner(jobs=jobs, cache=cache, cache_dir=cache_dir,
-                         progress=progress)
+                         progress=progress, tracer=tracer)
     return runner.run(spec)

@@ -30,6 +30,7 @@ import platform
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import ConfigError, OracleDivergence
 from repro.gpu.config import GPUConfig
 from repro.gpu.sim import Simulator
 from repro.workloads.suite import build_workload
@@ -59,7 +60,7 @@ FULL_SCALE = 1 / 4
 QUICK_SCALE = 1 / 16
 
 
-class EquivalenceError(AssertionError):
+class EquivalenceError(OracleDivergence):
     """The two trace paths produced different simulation results."""
 
 
@@ -81,7 +82,7 @@ def run_bench(scale: float = FULL_SCALE, chiplets: int = 4,
               progress: Optional[Callable[[str], None]] = None) -> Dict:
     """Run the line-vs-run sweep and return the report dictionary."""
     if repeats < 1:
-        raise ValueError(f"repeats must be >= 1, got {repeats}")
+        raise ConfigError(f"repeats must be >= 1, got {repeats}")
     workloads = list(workloads) if workloads else list(PARTITIONED_SWEEP)
     protocols = list(protocols) if protocols else list(BENCH_PROTOCOLS)
     config = GPUConfig(num_chiplets=chiplets, scale=scale)
@@ -180,7 +181,7 @@ def run_memo_bench(scale: float = FULL_SCALE, chiplets: int = 4,
     from repro.gpu.memo import clear_memo_stores
 
     if repeats < 2:
-        raise ValueError(
+        raise ConfigError(
             f"repeats must be >= 2 (the first memo repetition records, "
             f"later ones replay), got {repeats}")
     workloads = list(workloads) if workloads else list(ITERATIVE_SWEEP)
@@ -257,6 +258,157 @@ def run_memo_bench(scale: float = FULL_SCALE, chiplets: int = 4,
         },
     }
     return report
+
+
+def _time_cell_traced(config: GPUConfig, workload_name: str,
+                      protocol: str) -> Tuple[float, int, dict, int]:
+    """Simulate one cell with a recording :class:`EventTracer` attached;
+    also return the number of events captured."""
+    from repro.obs import EventTracer
+
+    tracer = EventTracer()
+    sim = Simulator(config, protocol=protocol, trace_path="run",
+                    tracer=tracer)
+    workload = build_workload(workload_name, config)
+    t0 = time.perf_counter()
+    result = sim.run(workload)
+    dt = time.perf_counter() - t0
+    return dt, sim.last_trace_lines, result.to_dict(), len(tracer.events)
+
+
+def run_obs_bench(scale: float = FULL_SCALE, chiplets: int = 4,
+                  repeats: int = 3,
+                  workloads: Optional[Sequence[str]] = None,
+                  protocols: Optional[Sequence[str]] = None,
+                  progress: Optional[Callable[[str], None]] = None) -> Dict:
+    """Run the tracing-overhead sweep and return the report dictionary.
+
+    Two variants per cell, interleaved like :func:`run_bench`: the
+    default *disabled* tracer (``NULL_TRACER`` — the production
+    configuration the <2% overhead budget applies to, timed as
+    ``null_seconds``) and a recording :class:`~repro.obs.EventTracer`
+    (``traced_seconds``). Every repetition asserts the traced run's
+    serialized result is bit-identical to the untraced one, so the bench
+    doubles as the tracer-purity differential check.
+
+    The aggregate also carries ``run_seconds`` (an alias of the
+    disabled-tracer total) so :func:`check_obs_overhead` can compare it
+    against a ``BENCH_trace.json`` report timed on the same machine.
+    """
+    if repeats < 1:
+        raise ConfigError(f"repeats must be >= 1, got {repeats}")
+    workloads = list(workloads) if workloads else list(PARTITIONED_SWEEP)
+    protocols = list(protocols) if protocols else list(BENCH_PROTOCOLS)
+    config = GPUConfig(num_chiplets=chiplets, scale=scale)
+    cells: List[Dict] = []
+    agg_null = agg_traced = 0.0
+    agg_lines = agg_events = 0
+    for protocol in protocols:
+        for workload in workloads:
+            null_best = traced_best = float("inf")
+            lines = events = 0
+            for rep in range(repeats):
+                dt_n, n_n, d_n = _time_cell(config, workload, protocol,
+                                            "run")
+                dt_t, n_t, d_t, events = _time_cell_traced(
+                    config, workload, protocol)
+                if d_n != d_t or n_n != n_t:
+                    raise EquivalenceError(
+                        f"tracer perturbed the simulation: "
+                        f"{workload}/{protocol} (scale {scale:g}, "
+                        f"rep {rep})")
+                null_best = min(null_best, dt_n)
+                traced_best = min(traced_best, dt_t)
+                lines = n_n
+            cells.append({
+                "workload": workload,
+                "protocol": protocol,
+                "lines": lines,
+                "events": events,
+                "null_seconds": round(null_best, 6),
+                "traced_seconds": round(traced_best, 6),
+                "traced_overhead": round(traced_best / null_best - 1.0, 4),
+                "identical": True,
+            })
+            agg_null += null_best
+            agg_traced += traced_best
+            agg_lines += lines
+            agg_events += events
+            if progress is not None:
+                progress(f"  {workload}/{protocol}: null {null_best:.3f}s, "
+                         f"traced {traced_best:.3f}s "
+                         f"({traced_best / null_best - 1.0:+.1%}, "
+                         f"{events} events)")
+    report = {
+        "benchmark": "tracing overhead: disabled (null) vs recording tracer",
+        "sweep": "partitioned" if workloads == PARTITIONED_SWEEP else "custom",
+        "meta": {
+            "scale": scale,
+            "chiplets": chiplets,
+            "repeats": repeats,
+            "jobs": 1,
+            "workloads": workloads,
+            "protocols": protocols,
+            "python": platform.python_version(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+        "cells": cells,
+        "aggregate": {
+            "lines": agg_lines,
+            "events": agg_events,
+            "null_seconds": round(agg_null, 6),
+            "run_seconds": round(agg_null, 6),
+            "traced_seconds": round(agg_traced, 6),
+            "traced_overhead": round(agg_traced / agg_null - 1.0, 4),
+        },
+    }
+    return report
+
+
+def check_obs_overhead(report: Dict, reference: Dict,
+                       tolerance: float = 0.02) -> Tuple[bool, str]:
+    """Compare the obs bench's disabled-tracer aggregate against a
+    line-vs-run bench report's run-path aggregate.
+
+    Returns ``(ok, message)``. The check only means something when both
+    sweeps timed the same simulations on the same machine, so a
+    reference with different scale/chiplets/workloads/protocols passes
+    vacuously with an explanatory message instead of failing.
+    """
+    ref_meta, meta = reference.get("meta", {}), report["meta"]
+    for key in ("scale", "chiplets", "workloads", "protocols"):
+        if ref_meta.get(key) != meta[key]:
+            return True, (f"obs overhead check skipped: reference {key} "
+                          f"{ref_meta.get(key)!r} does not match "
+                          f"{meta[key]!r}")
+    ref_seconds = reference["aggregate"]["run_seconds"]
+    null_seconds = report["aggregate"]["null_seconds"]
+    overhead = null_seconds / ref_seconds - 1.0
+    message = (f"disabled-tracer aggregate {null_seconds:.3f}s vs "
+               f"reference run-path {ref_seconds:.3f}s: {overhead:+.2%} "
+               f"(budget {tolerance:+.0%})")
+    return overhead <= tolerance, message
+
+
+def summarize_obs(report: Dict) -> str:
+    """Human-readable summary of a tracing-overhead bench report."""
+    rows = []
+    for cell in report["cells"]:
+        rows.append(f"  {cell['workload']:<14s} {cell['protocol']:<8s} "
+                    f"null {cell['null_seconds']:7.3f}s  "
+                    f"traced {cell['traced_seconds']:7.3f}s  "
+                    f"{cell['traced_overhead']:+7.1%}  "
+                    f"({cell['events']} events)")
+    agg = report["aggregate"]
+    meta = report["meta"]
+    rows.append(
+        f"aggregate (scale {meta['scale']:g}, {meta['chiplets']} chiplets, "
+        f"best of {meta['repeats']}): "
+        f"null {agg['null_seconds']:.2f}s, "
+        f"traced {agg['traced_seconds']:.2f}s "
+        f"-> {agg['traced_overhead']:+.1%} recording overhead "
+        f"({agg['events']:,} events)")
+    return "\n".join(rows)
 
 
 def summarize_memo(report: Dict) -> str:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import ConfigError
 from repro.gpu.config import GPUConfig
 from repro.gpu.sim import Simulator
 from repro.workloads.suite import WORKLOAD_NAMES, build_workload
@@ -172,7 +173,7 @@ def run_oracle(workloads: Optional[Sequence[str]] = None,
     if workloads is None:
         workloads = list(WORKLOAD_NAMES)
     if len(trace_paths) < 2:
-        raise ValueError(
+        raise ConfigError(
             f"the oracle needs at least two trace paths to compare, got "
             f"{list(trace_paths)}")
     if config is None:

@@ -36,6 +36,7 @@ import os
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.coarsening import coarsen_regions
+from repro.errors import InvariantViolation
 from repro.core.regions import ranges_overlap, region_from_arg
 from repro.core.states import ChipletState, is_legal_transition, merge_conservative
 from repro.cp.local_cp import SyncOp, SyncOpKind
@@ -57,11 +58,12 @@ _OVERFLOW_PREFIX = "table-overflow"
 _RowSnap = Tuple[str, int, int, Tuple[ChipletState, ...], tuple]
 
 
-class CheckError(AssertionError):
+class CheckError(InvariantViolation):
     """A coherence invariant was violated.
 
-    Derives from :class:`AssertionError`: a violation is a simulator
-    bug, never a workload property, and must abort the run loudly.
+    Derives from :class:`~repro.errors.InvariantViolation` (itself an
+    ``AssertionError``): a violation is a simulator bug, never a
+    workload property, and must abort the run loudly.
     """
 
 

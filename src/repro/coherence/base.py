@@ -36,6 +36,12 @@ class CoherenceProtocol(abc.ABC):
         self.config = config
         self.device = device
 
+    @property
+    def tracer(self):
+        """The device's observability tracepoint sink (never read by
+        protocol logic — a pure event/metric outlet)."""
+        return self.device.tracer
+
     # ---- kernel boundary hooks -----------------------------------------
 
     @abc.abstractmethod

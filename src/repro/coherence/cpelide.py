@@ -45,6 +45,9 @@ class CPElideProtocol(BaselineProtocol):
             structs_per_kernel=config.table_structs_per_kernel,
             kernel_window=config.table_kernel_window,
         )
+        # The simulator installs its tracer on the device before building
+        # the protocol, so the table can share it from construction.
+        self.table.tracer = device.tracer
         self.engine = ElisionEngine(self.table)
         self.range_ops = range_ops
         if range_ops:

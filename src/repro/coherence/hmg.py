@@ -364,6 +364,10 @@ class HMGProtocol(CoherenceProtocol):
         losers = entry.sharers - {keeper}
         if not losers:
             return
+        tracer = self.device.tracer
+        if tracer.enabled:
+            tracer.directory_event(action="invalidate", chiplet=home,
+                                   sharers=len(losers))
         region = L2Directory.region_of(line)
         for sharer in losers:
             self._drop_region_lines(sharer, region)
@@ -380,6 +384,10 @@ class HMGProtocol(CoherenceProtocol):
                            entry: DirectoryEntry) -> None:
         """Directory eviction: invalidate all sharers' four lines."""
         self._sync.dir_evictions += 1
+        tracer = self.device.tracer
+        if tracer.enabled:
+            tracer.directory_event(action="evict", chiplet=home,
+                                   sharers=len(entry.sharers))
         if self.write_back and entry.owner is not None:
             self._flush_owner_region(entry.owner, region)
         for sharer in entry.sharers:

@@ -72,6 +72,16 @@ class ElisionEngine:
     def __init__(self, table: ChipletCoherenceTable) -> None:
         self.table = table
 
+    def _trace_transition(self, entry: TableEntry, chiplet: int,
+                          new: ChipletState) -> None:
+        """Tracepoint for one chiplet-vector edge (no-op when disabled
+        or when the state does not actually change)."""
+        tracer = self.table.tracer
+        if tracer.enabled and entry.states[chiplet] is not new:
+            tracer.table_transition(name=entry.name, chiplet=chiplet,
+                                    old=entry.states[chiplet].name,
+                                    new=new.name)
+
     # ------------------------------------------------------------------
 
     def process_launch(self, packet: KernelPacket,
@@ -175,6 +185,8 @@ class ElisionEngine:
                     held = entry.ranges[holder]
                     if any(ranges_overlap(held, rng)
                            for rng in region.chiplet_ranges.values()):
+                        self._trace_transition(entry, holder,
+                                               ChipletState.STALE)
                         entry.states[holder] = ChipletState.STALE
 
         # First access to the structure: first-touch placement homes each
@@ -195,10 +207,12 @@ class ElisionEngine:
                 continue
             effective = cached if cached is not None else rng
             if region.mode.writes:
+                self._trace_transition(entry, chiplet, ChipletState.DIRTY)
                 entry.states[chiplet] = ChipletState.DIRTY
             elif entry.states[chiplet] is not ChipletState.DIRTY:
                 # A read keeps a Dirty copy Dirty (Stay-in-Dirty rule);
                 # anything else becomes Valid.
+                self._trace_transition(entry, chiplet, ChipletState.VALID)
                 entry.states[chiplet] = ChipletState.VALID
             entry.ranges[chiplet] = merge_ranges(entry.ranges[chiplet],
                                                  effective)

@@ -21,6 +21,7 @@ from typing import List, Optional, Tuple
 from repro.core.regions import AccessRegion, ByteRange, merge_ranges, ranges_overlap
 from repro.core.states import ChipletState
 from repro.cp.packets import AccessMode
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 @dataclass
@@ -94,6 +95,9 @@ class ChipletCoherenceTable:
         self._entries: "OrderedDict[int, TableEntry]" = OrderedDict()
         self.peak_entries = 0
         self.overflow_evictions = 0
+        #: Observability sink (the owning protocol points this at the
+        #: device's tracer); never read by table logic.
+        self.tracer: Tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
 
@@ -137,9 +141,18 @@ class ChipletCoherenceTable:
             if len(self._entries) >= self.capacity:
                 _, evicted = self._entries.popitem(last=False)
                 self.overflow_evictions += 1
+                if self.tracer.enabled:
+                    self.tracer.table_evict(
+                        name=evicted.name, base=evicted.base,
+                        end=evicted.end, rows=len(self._entries),
+                        reason="overflow")
             entry = TableEntry.blank(region.name, region.base, region.end,
                                      region.mode, self.num_chiplets)
             self._entries[entry.base] = entry
+            if self.tracer.enabled:
+                self.tracer.table_insert(name=entry.name, base=entry.base,
+                                         end=entry.end,
+                                         rows=len(self._entries))
         self.peak_entries = max(self.peak_entries, len(self._entries))
         return entry, evicted
 
@@ -147,6 +160,10 @@ class ChipletCoherenceTable:
         """Fold ``src`` into ``dst`` conservatively and remove ``src``."""
         from repro.core.states import merge_conservative
 
+        if self.tracer.enabled:
+            self.tracer.table_evict(name=src.name, base=src.base,
+                                    end=src.end, rows=len(self._entries) - 1,
+                                    reason="merge")
         del self._entries[src.base]
         old_base = dst.base
         dst.name = f"{dst.name}+{src.name}"
@@ -174,6 +191,11 @@ class ChipletCoherenceTable:
         """Drop ``entry`` if every chiplet is Not Present (Sec. III-C)."""
         if entry.is_empty() and entry.base in self._entries:
             del self._entries[entry.base]
+            if self.tracer.enabled:
+                self.tracer.table_evict(name=entry.name, base=entry.base,
+                                        end=entry.end,
+                                        rows=len(self._entries),
+                                        reason="empty")
             return True
         return False
 
@@ -185,7 +207,13 @@ class ChipletCoherenceTable:
     def on_chiplet_acquired(self, chiplet: int) -> None:
         """An acquire invalidated ``chiplet``'s whole L2: every row's state
         for that chiplet becomes Not Present; empty rows are removed."""
+        trace = self.tracer.enabled
         for entry in list(self._entries.values()):
+            if trace and entry.states[chiplet] is not ChipletState.NOT_PRESENT:
+                self.tracer.table_transition(
+                    name=entry.name, chiplet=chiplet,
+                    old=entry.states[chiplet].name,
+                    new=ChipletState.NOT_PRESENT.name)
             entry.states[chiplet] = ChipletState.NOT_PRESENT
             entry.ranges[chiplet] = None
             self.remove_if_empty(entry)
@@ -193,8 +221,14 @@ class ChipletCoherenceTable:
     def on_chiplet_released(self, chiplet: int) -> None:
         """A release flushed ``chiplet``'s whole L2: every Dirty row for
         that chiplet becomes Valid (clean copies are retained)."""
+        trace = self.tracer.enabled
         for entry in self._entries.values():
             if entry.states[chiplet] is ChipletState.DIRTY:
+                if trace:
+                    self.tracer.table_transition(
+                        name=entry.name, chiplet=chiplet,
+                        old=ChipletState.DIRTY.name,
+                        new=ChipletState.VALID.name)
                 entry.states[chiplet] = ChipletState.VALID
 
     # ------------------------------------------------------------------

@@ -106,8 +106,15 @@ class GlobalCP:
         if packet is None:
             return None
         placement = self.wg_scheduler.place(packet)
+        tracer = self.device.tracer
+        if tracer.enabled:
+            # Before the protocol hook, so the launch's table activity
+            # and sync ops nest inside this kernel's trace scope.
+            tracer.kernel_launch(name=packet.name, index=packet.kernel_id,
+                                 stream=packet.stream_id,
+                                 chiplets=placement.chiplets)
         ops = self.protocol.on_kernel_launch(packet, placement)
-        acks = self._execute_ops(ops)
+        acks = self._execute_ops(ops, boundary="launch")
         overhead = self._cp_overhead_cycles(packet, ops)
         self.kernels_launched += 1
         return LaunchDecision(packet=packet, placement=placement,
@@ -118,16 +125,18 @@ class GlobalCP:
                  placement: Placement) -> CompletionRecord:
         """Run the protocol's kernel-completion hook (implicit release)."""
         ops = self.protocol.on_kernel_complete(packet, placement)
-        acks = self._execute_ops(ops)
+        acks = self._execute_ops(ops, boundary="completion")
         return CompletionRecord(packet=packet, ops=ops, acks=acks)
 
     # ------------------------------------------------------------------
 
-    def _execute_ops(self, ops: List[SyncOp]) -> List[SyncAck]:
+    def _execute_ops(self, ops: List[SyncOp],
+                     boundary: str = "launch") -> List[SyncAck]:
         """Send sync ops to the local CPs and gather their ACKs."""
         acks: List[SyncAck] = []
         for op in ops:
-            acks.append(self.device.local_cps[op.chiplet].execute(op))
+            acks.append(self.device.local_cps[op.chiplet].execute(
+                op, boundary=boundary))
         return acks
 
     def _cp_overhead_cycles(self, packet: KernelPacket,

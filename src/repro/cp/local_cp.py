@@ -79,8 +79,13 @@ class LocalCP:
         self.device = device
         self.ops_executed = 0
 
-    def execute(self, op: SyncOp) -> SyncAck:
-        """Execute ``op`` on this chiplet's L2 and return the ACK."""
+    def execute(self, op: SyncOp, boundary: str = "launch") -> SyncAck:
+        """Execute ``op`` on this chiplet's L2 and return the ACK.
+
+        ``boundary`` labels the kernel boundary the op belongs to
+        (``launch``, ``completion``, or ``run-end``) for the trace; it
+        has no effect on the operation itself.
+        """
         if op.chiplet != self.chiplet_id:
             raise ValueError(
                 f"op for chiplet {op.chiplet} routed to local CP {self.chiplet_id}")
@@ -90,10 +95,19 @@ class LocalCP:
                 flushed = self.device.flush_l2_ranges(self.chiplet_id, op.ranges)
             else:
                 flushed = self.device.flush_l2(self.chiplet_id)
-            return SyncAck(op=op, lines_flushed=flushed)
-        if op.ranges is not None:
+            ack = SyncAck(op=op, lines_flushed=flushed)
+        elif op.ranges is not None:
             invalidated = self.device.invalidate_l2_ranges(self.chiplet_id,
                                                            op.ranges)
+            ack = SyncAck(op=op, lines_invalidated=invalidated)
         else:
             invalidated = self.device.invalidate_l2(self.chiplet_id)
-        return SyncAck(op=op, lines_invalidated=invalidated)
+            ack = SyncAck(op=op, lines_invalidated=invalidated)
+        tracer = self.device.tracer
+        if tracer.enabled:
+            tracer.sync_op(kind=op.kind.value, chiplet=op.chiplet,
+                           reason=op.reason,
+                           lines_flushed=ack.lines_flushed,
+                           lines_invalidated=ack.lines_invalidated,
+                           boundary=boundary)
+        return ack

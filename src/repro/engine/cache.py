@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.engine.spec import JobSpec
+from repro.errors import CacheError
 
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -65,7 +66,7 @@ def code_version_salt() -> str:
     for package in _SALT_PACKAGES:
         package_root = root / package
         if not package_root.is_dir():
-            raise RuntimeError(
+            raise CacheError(
                 f"code_version_salt: salt package {package!r} not found "
                 f"under {root} — update _SALT_PACKAGES in "
                 f"repro/engine/cache.py to match the source tree")
@@ -77,7 +78,7 @@ def code_version_salt() -> str:
         try:
             data = path.read_bytes()
         except FileNotFoundError:
-            raise RuntimeError(
+            raise CacheError(
                 f"code_version_salt: salt module {module!r} not found at "
                 f"{path} — update _SALT_MODULES in repro/engine/cache.py "
                 f"to match the source tree") from None

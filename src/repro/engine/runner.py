@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.engine.cache import ResultCache
 from repro.engine.spec import JobSpec, SweepSpec, workload_label
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 #: Result types a job can produce (SimulationResult or
 #: TableOccupancyProfile; both expose ``to_dict``/``from_dict``).
@@ -40,31 +41,40 @@ ProgressFn = Callable[[str], None]
 MemoCounters = Optional[Tuple[int, int, int]]
 
 
-def _execute_job(job: JobSpec) -> Tuple[Dict[str, Any], MemoCounters, float]:
-    """Run one job and return ``(result payload, memo counters, seconds)``.
+def _execute_job(job: JobSpec, tracer: Optional[Tracer] = None,
+                 ) -> Tuple[Dict[str, Any], MemoCounters,
+                            Optional[Dict[str, Any]], float]:
+    """Run one job; return ``(payload, memo counters, obs, seconds)``.
 
     Module-level so the process pool can pickle it; imports are local so
-    forked workers pay them only when first used.
+    forked workers pay them only when first used. ``tracer`` is only
+    threaded on the serial path (it cannot cross the fork boundary);
+    like the memo counters, the run's ``obs`` metrics travel *beside*
+    the payload so cached payloads stay bit-identical to untraced runs.
     """
     from repro.engine.spec import build_for_job
 
     start = time.perf_counter()
     workload = build_for_job(job.workload, job.config)
     memo: MemoCounters = None
+    obs: Optional[Dict[str, Any]] = None
     if job.kind == "occupancy":
         from repro.analysis.occupancy import profile_table_occupancy
         result = profile_table_occupancy(workload, job.config)
     else:
         from repro.gpu.sim import Simulator
         result = Simulator(job.config, job.protocol,
-                           scheduler=job.scheduler).run(workload)
+                           scheduler=job.scheduler,
+                           trace_path=job.trace_path,
+                           tracer=tracer).run(workload)
         if result.memo_hits is not None:
             # Worker ran the memo trace path (REPRO_TRACE_PATH): the
             # counters do not survive to_dict(), so carry them beside
             # the payload and reattach after reconstruction.
             memo = (result.memo_hits, result.memo_misses,
                     result.memo_bypasses)
-    return result.to_dict(), memo, time.perf_counter() - start
+        obs = result.obs
+    return result.to_dict(), memo, obs, time.perf_counter() - start
 
 
 def _reconstruct(job: JobSpec, payload: Dict[str, Any]) -> JobResult:
@@ -135,6 +145,12 @@ class SweepResult:
     spec: SweepSpec
     outcomes: List[JobOutcome] = field(default_factory=list)
     report: SweepReport = field(default_factory=SweepReport)
+    #: Sweep-level aggregated observability metrics (the tracer's
+    #: :class:`~repro.obs.metrics.MetricRegistry` folded per-kernel →
+    #: per-run → per-sweep, as a dict). ``None`` on untraced sweeps;
+    #: excluded from :meth:`to_dicts` so traced and untraced sweeps
+    #: serialize identically.
+    obs: Optional[Dict[str, Any]] = None
 
     @property
     def results(self) -> List[JobResult]:
@@ -171,7 +187,8 @@ class SweepRunner:
     def __init__(self, jobs: int = 1,
                  cache: Union[bool, ResultCache, None] = False,
                  cache_dir: "os.PathLike[str] | str | None" = None,
-                 progress: Optional[ProgressFn] = None) -> None:
+                 progress: Optional[ProgressFn] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.jobs = resolve_jobs(jobs)
         if isinstance(cache, ResultCache):
             self.cache: Optional[ResultCache] = cache
@@ -180,6 +197,11 @@ class SweepRunner:
         else:
             self.cache = None
         self.progress = progress
+        #: Observability sink. Serial sweeps thread it into every
+        #: simulation (full kernel-level detail); parallel sweeps only
+        #: record sweep-cell events in the parent (tracers cannot cross
+        #: the fork boundary).
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
 
@@ -191,6 +213,10 @@ class SweepRunner:
         """Execute every cell of ``spec`` and aggregate in spec order."""
         start = time.perf_counter()
         jobs = spec.expand()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.sweep_begin(label=f"{spec.kind}:{len(jobs)} cells",
+                               cells=len(jobs))
         outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
         cache_before = (self.cache.stats.snapshot()
                         if self.cache is not None else None)
@@ -211,6 +237,9 @@ class SweepRunner:
                     result.from_cache = True
                 outcomes[index] = JobOutcome(job=job, result=result,
                                              cached=True)
+                if tracer.enabled:
+                    tracer.sweep_cell(phase="end", label=job.label,
+                                      cached=True)
         if self.cache is not None and len(pending) < len(jobs):
             self._emit(f"cache: {len(jobs) - len(pending)}/{len(jobs)} "
                        "jobs already done")
@@ -227,27 +256,42 @@ class SweepRunner:
         report = self._report(done, parallel, cache_before,
                               time.perf_counter() - start)
         self._emit(f"sweep done: {report.summary()}")
-        return SweepResult(spec=spec, outcomes=done, report=report)
+        obs = None
+        if tracer.enabled:
+            registry = getattr(tracer, "metrics", None)
+            if registry is not None:
+                obs = registry.aggregate().to_dict(include_children=False)
+        return SweepResult(spec=spec, outcomes=done, report=report, obs=obs)
 
     # ------------------------------------------------------------------
 
     def _finish(self, job: JobSpec, payload: Dict[str, Any],
-                memo: MemoCounters, seconds: float, done: int,
-                total: int) -> JobOutcome:
+                memo: MemoCounters, obs: Optional[Dict[str, Any]],
+                seconds: float, done: int, total: int) -> JobOutcome:
         if self.cache is not None:
+            # The payload never carries obs metrics, so traced and
+            # untraced runs store byte-identical cache entries.
             self.cache.store(job, payload)
         self._emit(f"[{done}/{total}] {job.label} ({seconds:.2f}s)")
         result = _reconstruct(job, payload)
         if memo is not None:
             result.memo_hits, result.memo_misses, result.memo_bypasses = memo
+        if obs is not None and hasattr(result, "obs"):
+            result.obs = obs
+        if self.tracer.enabled:
+            self.tracer.sweep_cell(phase="end", label=job.label,
+                                   cached=False, seconds=seconds)
         return JobOutcome(job=job, result=result, cached=False,
                           seconds=seconds)
 
     def _run_serial(self, jobs: List[JobSpec], pending: List[int],
                     outcomes: List[Optional[JobOutcome]]) -> None:
+        tracer = self.tracer if self.tracer.enabled else None
         for done, index in enumerate(pending, start=1):
-            payload, memo, seconds = _execute_job(jobs[index])
-            outcomes[index] = self._finish(jobs[index], payload, memo,
+            if tracer is not None:
+                tracer.sweep_cell(phase="begin", label=jobs[index].label)
+            payload, memo, obs, seconds = _execute_job(jobs[index], tracer)
+            outcomes[index] = self._finish(jobs[index], payload, memo, obs,
                                            seconds, done, len(pending))
 
     def _prewarm_traces(self, jobs: List[JobSpec],
@@ -284,9 +328,10 @@ class SweepRunner:
                        for index in pending}
             for done, future in enumerate(as_completed(futures), start=1):
                 index = futures[future]
-                payload, memo, seconds = future.result()
+                payload, memo, obs, seconds = future.result()
                 outcomes[index] = self._finish(jobs[index], payload, memo,
-                                               seconds, done, len(pending))
+                                               obs, seconds, done,
+                                               len(pending))
 
     # ------------------------------------------------------------------
 

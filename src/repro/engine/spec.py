@@ -24,6 +24,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.errors import ConfigError
 from repro.gpu.config import GPUConfig
 from repro.workloads.base import Workload
 
@@ -47,7 +48,7 @@ def workload_label(spec: WorkloadSpec) -> str:
     kind = spec[0]
     if kind == "multistream":
         return f"{spec[1]}-ms{spec[2]}"
-    raise ValueError(f"unknown workload spec {spec!r}")
+    raise ConfigError(f"unknown workload spec {spec!r}")
 
 
 def build_for_job(spec: WorkloadSpec, config: GPUConfig) -> Workload:
@@ -59,7 +60,7 @@ def build_for_job(spec: WorkloadSpec, config: GPUConfig) -> Workload:
     if kind == "multistream":
         from repro.experiments.multistream import make_multistream
         return make_multistream(spec[1], config, int(spec[2]))
-    raise ValueError(f"unknown workload spec {spec!r}")
+    raise ConfigError(f"unknown workload spec {spec!r}")
 
 
 @dataclass(frozen=True)
@@ -71,10 +72,16 @@ class JobSpec:
     config: GPUConfig
     scheduler: str = "static"
     kind: str = "simulate"
+    #: Trace representation the job's simulator should use (``None``
+    #: defers to ``REPRO_TRACE_PATH``/the default). Deliberately NOT part
+    #: of :meth:`key_payload`: every path produces bit-identical results,
+    #: so cache entries are shared across paths (matching the historical
+    #: environment-variable behavior).
+    trace_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
-            raise ValueError(
+            raise ConfigError(
                 f"kind must be one of {JOB_KINDS}, got {self.kind!r}")
         if not isinstance(self.protocol, str):
             raise TypeError(
@@ -113,6 +120,8 @@ class SweepSpec:
                                                 scale=DEFAULT_SCALE),)
     scheduler: str = "static"
     kind: str = "simulate"
+    #: Trace path for every expanded job (see :attr:`JobSpec.trace_path`).
+    trace_path: Optional[str] = None
 
     @classmethod
     def grid(cls, workloads: Optional[Sequence[WorkloadSpec]] = None,
@@ -121,7 +130,8 @@ class SweepSpec:
              scale: float = DEFAULT_SCALE,
              scheduler: str = "static",
              base_config: Optional[GPUConfig] = None,
-             kind: str = "simulate") -> "SweepSpec":
+             kind: str = "simulate",
+             trace_path: Optional[str] = None) -> "SweepSpec":
         """Build a spec from the common (chiplet_counts, scale) grid.
 
         ``workloads=None`` selects all 24 Table II applications.
@@ -135,7 +145,8 @@ class SweepSpec:
             dataclasses.replace(base, num_chiplets=n, scale=scale)
             for n in chiplet_counts)
         return cls(workloads=tuple(workloads), protocols=tuple(protocols),
-                   configs=configs, scheduler=scheduler, kind=kind)
+                   configs=configs, scheduler=scheduler, kind=kind,
+                   trace_path=trace_path)
 
     @property
     def num_jobs(self) -> int:
@@ -148,7 +159,8 @@ class SweepSpec:
         ``run_matrix`` loop nest."""
         return [
             JobSpec(workload=workload, protocol=protocol, config=config,
-                    scheduler=self.scheduler, kind=self.kind)
+                    scheduler=self.scheduler, kind=self.kind,
+                    trace_path=self.trace_path)
             for config in self.configs
             for workload in self.workloads
             for protocol in self.protocols

@@ -1,0 +1,68 @@
+"""The exception hierarchy of the reproduction.
+
+Everything the package raises deliberately derives from
+:class:`ReproError`, so downstream scripts can catch one base class at
+the :mod:`repro.api` boundary instead of fishing for bare built-ins::
+
+    from repro.api import simulate
+    from repro.errors import ReproError, ConfigError
+
+    try:
+        result = simulate("square", "cpelide")
+    except ConfigError as exc:       # bad knob / bad spec
+        ...
+    except ReproError as exc:        # anything else the simulator raised
+        ...
+
+Each concrete class *also* derives from the built-in it historically
+was (``ConfigError`` is a ``ValueError``, ``CacheError`` a
+``RuntimeError``, ``InvariantViolation`` and ``OracleDivergence``
+``AssertionError``\\ s), so pre-hierarchy callers that caught the
+built-ins keep working unchanged.
+
+Hierarchy::
+
+    ReproError
+    ├── ConfigError         (ValueError)       bad GPUConfig / spec / CLI knob
+    ├── CacheError          (RuntimeError)     result-cache misconfiguration
+    ├── InvariantViolation  (AssertionError)   repro.check sanitizer failure
+    └── OracleDivergence    (AssertionError)   cross-path differential mismatch
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CacheError",
+    "ConfigError",
+    "InvariantViolation",
+    "OracleDivergence",
+    "ReproError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every deliberate ``repro`` exception."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration: a bad :class:`~repro.gpu.config.GPUConfig`
+    field, an unknown workload/protocol/trace-path name, a malformed
+    sweep spec, or an API call whose arguments cannot be honored."""
+
+
+class CacheError(ReproError, RuntimeError):
+    """The on-disk result cache is misconfigured (e.g. the code-version
+    salt references source files that do not exist)."""
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """A :mod:`repro.check` coherence invariant failed.
+
+    Derives from :class:`AssertionError`: a violation is a simulator
+    bug, never a workload property, and must abort the run loudly.
+    """
+
+
+class OracleDivergence(ReproError, AssertionError):
+    """The cross-path differential oracle found two trace paths (or a
+    traced and an untraced run) producing different results."""

@@ -21,17 +21,20 @@ from repro.metrics.report import format_table
 def run(workloads: Optional[Sequence[str]] = None,
         scale: float = DEFAULT_SCALE,
         num_chiplets: int = 4, jobs: int = 1,
-        cache: bool = False, progress=None) -> Dict[str, TableOccupancyProfile]:
+        cache: bool = False, progress=None,
+        tracer=None) -> Dict[str, TableOccupancyProfile]:
     """Profile table occupancy for every (or the given) workload.
 
     Runs ``kind="occupancy"`` jobs through the sweep engine (the protocol
     axis is collapsed to CPElide — occupancy is a property of the elision
-    engine replay, not of the comparator protocols).
+    engine replay, not of the comparator protocols). ``tracer`` attaches
+    an observability sink to the sweep (see :mod:`repro.obs`).
     """
     spec = SweepSpec.grid(workloads=workloads, protocols=("cpelide",),
                           chiplet_counts=(num_chiplets,), scale=scale,
                           kind="occupancy")
-    sweep = SweepRunner(jobs=jobs, cache=cache, progress=progress).run(spec)
+    sweep = SweepRunner(jobs=jobs, cache=cache, progress=progress,
+                        tracer=tracer).run(spec)
     return {outcome.workload: outcome.result for outcome in sweep.outcomes}
 
 

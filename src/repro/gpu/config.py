@@ -12,6 +12,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
+
 KB = 1024
 MB = 1024 * KB
 GB = 1024 * MB
@@ -121,9 +123,9 @@ class GPUConfig:
 
     def __post_init__(self) -> None:
         if self.num_chiplets <= 0:
-            raise ValueError(f"num_chiplets must be positive, got {self.num_chiplets}")
+            raise ConfigError(f"num_chiplets must be positive, got {self.num_chiplets}")
         if not 0 < self.scale <= 1.0:
-            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+            raise ConfigError(f"scale must be in (0, 1], got {self.scale}")
 
     # ---- derived quantities ---------------------------------------------
 
@@ -197,7 +199,7 @@ class GPUConfig:
         """Return a copy whose workloads allocate ``factor``x footprints
         against unchanged caches (capacity-sensitivity sweeps)."""
         if factor <= 0:
-            raise ValueError(f"footprint_factor must be positive, got {factor}")
+            raise ConfigError(f"footprint_factor must be positive, got {factor}")
         return dataclasses.replace(self, footprint_factor=factor)
 
     def table_rows(self) -> "list[tuple[str, str]]":

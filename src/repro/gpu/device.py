@@ -20,6 +20,7 @@ from repro.memory.dram import DRAMModel
 from repro.memory.l1 import L1Filter
 from repro.memory.translation import AddressTranslator
 from repro.metrics.stats import AccessCounts
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.gpu.chiplet import Chiplet
 from repro.cp.local_cp import LocalCP
 
@@ -63,6 +64,11 @@ class Device:
         # Virtual-to-physical translation for the Sec. VI range-based
         # flush extension (software hints are virtual, L2s physical).
         self.translator = AddressTranslator()
+        # The observability tracepoint sink. The simulator installs its
+        # tracer here before building the protocol so every component
+        # (local CPs, coherence table, directories) sees the same one;
+        # the default NULL_TRACER no-ops with ``enabled=False``.
+        self.tracer: Tracer = NULL_TRACER
         # Per-kernel measurement context; the simulator swaps these.
         self.traffic = TrafficMeter()
         self.counts: List[AccessCounts] = [

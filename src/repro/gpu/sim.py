@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.check.sanitizer import SyncSanitizer, checks_enabled
 from repro.coherence.base import CoherenceProtocol, make_protocol
+from repro.errors import ConfigError
 from repro.cp.driver import GPUDriver
 from repro.cp.global_cp import GlobalCP
 from repro.cp.local_cp import SyncOpKind
@@ -32,6 +33,7 @@ from repro.energy.model import EnergyModel
 from repro.gpu.config import GPUConfig
 from repro.gpu.device import Device
 from repro.metrics.stats import KernelMetrics, RunMetrics, SyncCounts
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.timing.model import TimingModel
 from repro.workloads.base import (
     AccessKind,
@@ -66,14 +68,15 @@ def resolve_trace_path(trace_path: Optional[str] = None) -> str:
     then the ``REPRO_TRACE_PATH`` environment variable (read at call
     time, so forked sweep workers honor the environment they inherit),
     then :data:`DEFAULT_TRACE_PATH`. An empty environment variable
-    counts as unset. Raises :class:`ValueError` on an unknown name —
-    including an unknown *explicit* name when the environment holds a
-    valid one, so typos never silently fall back.
+    counts as unset. Raises :class:`~repro.errors.ConfigError` (a
+    ``ValueError``) on an unknown name — including an unknown *explicit*
+    name when the environment holds a valid one, so typos never silently
+    fall back.
     """
     if trace_path is None:
         trace_path = os.environ.get(TRACE_PATH_ENV) or DEFAULT_TRACE_PATH
     if trace_path not in _TRACE_PATHS:
-        raise ValueError(
+        raise ConfigError(
             f"trace_path must be one of {_TRACE_PATHS}, got {trace_path!r}")
     return trace_path
 
@@ -101,6 +104,13 @@ class SimulationResult:
     #: True when the engine served this result from its persistent
     #: :class:`~repro.engine.cache.ResultCache` instead of simulating.
     from_cache: bool = False
+    #: Aggregated per-run observability metrics (the run's
+    #: :class:`~repro.obs.metrics.MetricRegistry` as a dict), attached
+    #: only when the run carried an enabled tracer. Like the memo
+    #: counters, it is excluded from the *default* :meth:`to_dict` so
+    #: traced and untraced dumps stay bit-identical; pass
+    #: ``include_obs=True`` to serialize it.
+    obs: Optional[Dict[str, Any]] = None
 
     @property
     def cycles(self) -> float:
@@ -117,20 +127,25 @@ class SimulationResult:
         out["energy_total"] = float(self.energy["total"])
         return out
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self, *, include_obs: bool = False) -> Dict[str, Any]:
         """Lossless JSON-serializable dump of the result.
 
         ``SimulationResult.from_dict(json.loads(json.dumps(r.to_dict())))``
         reproduces ``r`` bit-for-bit — the engine's result cache and its
-        worker-process transport both rely on this round trip.
+        worker-process transport both rely on this round trip. The
+        default dump never includes the :attr:`obs` metrics (tracing must
+        not perturb serialized results); ``include_obs=True`` adds them.
         """
-        return {
+        out = {
             "protocol": self.protocol,
             "num_chiplets": int(self.num_chiplets),
             "wall_cycles": float(self.wall_cycles),
             "energy": {k: float(v) for k, v in self.energy.items()},
             "metrics": self.metrics.to_dict(),
         }
+        if include_obs and self.obs is not None:
+            out["obs"] = self.obs
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SimulationResult":
@@ -141,6 +156,7 @@ class SimulationResult:
             wall_cycles=float(data["wall_cycles"]),
             protocol=data["protocol"],
             num_chiplets=int(data["num_chiplets"]),
+            obs=data.get("obs"),
         )
 
 
@@ -156,14 +172,21 @@ class Simulator:
     def __init__(self, config: GPUConfig, protocol="baseline",
                  energy_model: Optional[EnergyModel] = None,
                  scheduler: str = "static",
-                 trace_path: Optional[str] = None) -> None:
+                 trace_path: Optional[str] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         if scheduler not in ("static", "locality"):
-            raise ValueError(
+            raise ConfigError(
                 f"scheduler must be 'static' or 'locality', got {scheduler!r}")
         self.config = config
         self.protocol_name = protocol
         self.scheduler = scheduler
         self.trace_path = resolve_trace_path(trace_path)
+        #: Observability tracepoint sink; :data:`~repro.obs.tracer
+        #: .NULL_TRACER` (free) unless a tracer was attached.
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        #: Memo outcome ("hit"/"miss"/"bypass") of the kernel currently
+        #: executing, consumed by the kernel-complete tracepoint.
+        self._memo_outcome: Optional[str] = None
         self.energy_model = energy_model or EnergyModel()
         #: Trace lines swept by the most recent :meth:`run` (all kernels);
         #: the bench harness reads this for its lines/sec figures.
@@ -185,6 +208,10 @@ class Simulator:
         """Simulate ``workload`` end to end and return its metrics."""
         config = self.config
         device = Device(config)
+        # Installed before protocol construction so components built by
+        # the protocol (e.g. the coherence table) share the tracer.
+        tracer = self.tracer
+        device.tracer = tracer
         if callable(self.protocol_name):
             protocol = self.protocol_name(config, device)
         else:
@@ -210,8 +237,15 @@ class Simulator:
                              num_chiplets=config.num_chiplets)
         stream_clocks: Dict[int, float] = defaultdict(float)
         self.last_trace_lines = 0
+        if tracer.enabled:
+            tracer.run_begin(workload=workload.name, protocol=protocol.name,
+                             num_chiplets=config.num_chiplets,
+                             clock_hz=config.gpu_clock_hz,
+                             trace_path=self.trace_path)
 
         for kernel in workload.kernels:
+            lines_before = self.last_trace_lines
+            self._memo_outcome = None
             if memoizer is not None:
                 km = self._run_kernel_memo(kernel, driver, device, protocol,
                                            global_cp, timing, memoizer)
@@ -220,6 +254,15 @@ class Simulator:
                                       global_cp, timing)
             metrics.add_kernel(km)
             stream_clocks[kernel.stream_id] += km.cycles
+            if tracer.enabled:
+                tracer.kernel_complete(
+                    name=km.kernel_name, index=km.kernel_index,
+                    stream=kernel.stream_id, cycles=km.cycles,
+                    sync_cycles=km.sync_cycles,
+                    lines=self.last_trace_lines - lines_before,
+                    lines_flushed=km.sync.lines_flushed,
+                    lines_invalidated=km.sync.lines_invalidated,
+                    memo=self._memo_outcome)
 
         if memoizer is not None:
             # The end-of-run release reads the caches for real.
@@ -247,8 +290,22 @@ class Simulator:
             result.memo_hits = memoizer.hits
             result.memo_misses = memoizer.misses
             result.memo_bypasses = memoizer.bypasses
+        if tracer.enabled:
+            tracer.run_end(wall_cycles=wall, kernels=len(workload.kernels))
+            result.obs = self._harvest_obs(tracer)
         self._sanitizer = None
         return result
+
+    def _harvest_obs(self, tracer: Tracer) -> Optional[Dict[str, Any]]:
+        """Aggregate the just-finished run's metric scope into a dict
+        (attached to the result as :attr:`SimulationResult.obs`)."""
+        registry = getattr(tracer, "metrics", None)
+        if registry is None:
+            return None
+        if registry.children:
+            last_run = registry.children[list(registry.children)[-1]]
+            return last_run.aggregate().to_dict(include_children=False)
+        return registry.aggregate().to_dict(include_children=False)
 
     def _make_memoizer(self, device, protocol, global_cp, driver,
                        wg_scheduler):
@@ -329,22 +386,41 @@ class Simulator:
         trace depends on the dynamic kernel id bypass memoization."""
         from repro.gpu.memo import kernel_is_bypassed
 
+        tracer = self.tracer
         if kernel_is_bypassed(kernel):
             memoizer.note_bypass(kernel)
-            return self._run_kernel(kernel, driver, device, protocol,
-                                    global_cp, timing)
+            self._memo_outcome = "bypass"
+            km = self._run_kernel(kernel, driver, device, protocol,
+                                  global_cp, timing)
+            if tracer.enabled:
+                tracer.memo_event(outcome="bypass", name=km.kernel_name,
+                                  index=km.kernel_index)
+            return km
         key = memoizer.lookup_key(kernel)
         entry = memoizer.store.get(key)
         if entry is not None:
             km, trace_lines = memoizer.replay(entry, kernel)
             self.last_trace_lines += trace_lines
+            self._memo_outcome = "hit"
+            if tracer.enabled:
+                # Replays skip the global CP, so synthesize the launch
+                # boundary (placement unknown on a hit) for the trace.
+                tracer.kernel_launch(name=km.kernel_name,
+                                     index=km.kernel_index,
+                                     stream=kernel.stream_id, chiplets=[])
+                tracer.memo_event(outcome="hit", name=km.kernel_name,
+                                  index=km.kernel_index)
             return km
         lines_before = self.last_trace_lines
         pre = memoizer.begin_capture()
+        self._memo_outcome = "miss"
         km = self._run_kernel(kernel, driver, device, protocol,
                               global_cp, timing)
         memoizer.end_capture(key, pre, km,
                              self.last_trace_lines - lines_before)
+        if tracer.enabled:
+            tracer.memo_event(outcome="miss", name=km.kernel_name,
+                              index=km.kernel_index)
         return km
 
     def _occupancy_factor(self, kernel: Kernel) -> float:
@@ -452,6 +528,11 @@ class Simulator:
         """Statistical L1 over the swept stream: first touches reached the
         L2 in the caller; surviving repeat touches are L2 hits by
         construction. Shared by the line and run paths."""
+        tracer = device.tracer
+        if tracer.enabled:
+            tracer.access_batch(arg=arg.buffer.name, chiplet=chiplet,
+                                lines=num_lines, local_lines=local_lines,
+                                loads=do_load, stores=do_store)
         counts = device.counts[chiplet]
         if do_load:
             res = device.l1_filter.filter(num_lines, arg.touches)
@@ -541,7 +622,8 @@ class Simulator:
         flushed = 0
         invalidated = 0
         for op in ops:
-            ack = device.local_cps[op.chiplet].execute(op)
+            ack = device.local_cps[op.chiplet].execute(op,
+                                                       boundary="run-end")
             flushed += ack.lines_flushed
             invalidated += ack.lines_invalidated
         if self._sanitizer is not None:
