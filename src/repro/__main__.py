@@ -50,8 +50,13 @@ from repro.analysis.sync_trace import trace_sync_ops
 from repro.coherence.base import protocol_names
 from repro.experiments import occupancy as occupancy_experiment
 from repro.gpu.config import GPUConfig
+from repro.gpu.trace_path import TracePath
 from repro.metrics.report import format_table
 from repro.workloads.suite import EXTRA_WORKLOADS, WORKLOAD_NAMES, build_workload
+
+#: Argparse-friendly spellings of the trace paths (the CLI accepts the
+#: enum's string values; handlers pass them on and the API coerces).
+TRACE_PATH_CHOICES = tuple(p.value for p in TracePath)
 
 
 #: Global default for ``--scale`` when a subcommand has no better one.
@@ -231,13 +236,29 @@ def _write_bench_report(report, path: str) -> None:
         _progress(f"wrote {root_copy}")
 
 
-def _check_speedup(report, label: str, floor: float) -> int:
+def _check_speedup(report, label: str, floor: float,
+                   cell_floor: float) -> int:
+    """Gate a bench report: the aggregate speedup must clear ``floor``
+    and *every per-cell speedup* must clear ``cell_floor``.
+
+    The per-cell gate is what catches a single workload regressing
+    (e.g. one memoized cell falling behind the run path) while the
+    aggregate still looks healthy.
+    """
+    rc = 0
     speedup = report["aggregate"]["speedup"]
     if speedup < floor:
         _progress(f"FAIL: {label} aggregate speedup {speedup:.2f}x is "
                   f"below the --min-speedup floor {floor:g}x")
-        return 1
-    return 0
+        rc = 1
+    for cell in report["cells"]:
+        if cell["speedup"] < cell_floor:
+            _progress(f"FAIL: {label} cell "
+                      f"{cell['workload']}/{cell['protocol']} speedup "
+                      f"{cell['speedup']:.2f}x is below the "
+                      f"--min-cell-speedup floor {cell_floor:g}x")
+            rc = 1
+    return rc
 
 
 def cmd_bench(args) -> int:
@@ -262,7 +283,8 @@ def cmd_bench(args) -> int:
         _write_bench_report(report, args.out)
         print(bench.summarize(report))
         if args.check:
-            rc |= _check_speedup(report, "line-vs-run", args.min_speedup)
+            rc |= _check_speedup(report, "line-vs-run", args.min_speedup,
+                                 args.min_cell_speedup)
     if args.sweep in ("memo", "both"):
         _progress(f"benchmarking memo vs run trace paths at scale "
                   f"{scale:g} ({args.chiplets} chiplets, "
@@ -274,7 +296,8 @@ def cmd_bench(args) -> int:
         _write_bench_report(report, args.memo_out)
         print(bench.summarize_memo(report))
         if args.check:
-            rc |= _check_speedup(report, "memo-vs-run", args.min_speedup)
+            rc |= _check_speedup(report, "memo-vs-run", args.min_speedup,
+                                 args.min_cell_speedup)
     if args.sweep == "obs":
         import json
         import os
@@ -395,7 +418,7 @@ def main(argv=None) -> int:
                          help="sync-trace entries to show in "
                               "text/sync formats (default 40)")
     trace_p.add_argument("--trace-path", default=None,
-                         choices=("line", "run", "memo"),
+                         choices=TRACE_PATH_CHOICES,
                          help="trace representation to simulate with "
                               "(default: REPRO_TRACE_PATH or 'run')")
     trace_p.add_argument("--scheduler", default="static",
@@ -424,10 +447,17 @@ def main(argv=None) -> int:
                          help="smaller scale and fewer repeats (CI smoke)")
     bench_p.add_argument("--check", action="store_true",
                          help="exit nonzero if a sweep's aggregate "
-                              "speedup is below --min-speedup")
+                              "speedup is below --min-speedup or any "
+                              "per-cell speedup is below "
+                              "--min-cell-speedup")
     bench_p.add_argument("--min-speedup", type=float, default=1.0,
-                         help="speedup floor for --check (default 1.0: "
-                              "fail only if the fast path is slower)")
+                         help="aggregate speedup floor for --check "
+                              "(default 1.0: fail only if the fast path "
+                              "is slower)")
+    bench_p.add_argument("--min-cell-speedup", type=float, default=0.95,
+                         help="per-cell speedup floor for --check "
+                              "(default 0.95: no single workload/"
+                              "protocol cell may regress below 0.95x)")
     bench_p.add_argument("--repeats", type=int, default=None,
                          help="timing repetitions per cell, best kept "
                               "(default 3, or 2 with --quick; the memo "
@@ -459,8 +489,8 @@ def main(argv=None) -> int:
                          default=["baseline", "hmg", "cpelide"],
                          choices=protocol_names())
     check_p.add_argument("--trace-paths", nargs="+",
-                         default=["line", "run", "memo"],
-                         choices=("line", "run", "memo"),
+                         default=list(TRACE_PATH_CHOICES),
+                         choices=TRACE_PATH_CHOICES,
                          help="trace paths to compare; the first is the "
                               "reference (default: line run memo)")
     check_p.add_argument("--scheduler", default="static",

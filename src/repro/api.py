@@ -61,6 +61,7 @@ from repro.engine.spec import (
 )
 from repro.gpu.config import GPUConfig, monolithic_equivalent
 from repro.gpu.sim import SimulationResult, Simulator
+from repro.gpu.trace_path import TracePath
 from repro.hip.runtime import HipRuntime
 from repro.workloads.base import Workload
 from repro.workloads.suite import (
@@ -71,11 +72,14 @@ from repro.workloads.suite import (
     build_workload,
 )
 
-#: Version of the documented :mod:`repro.api` surface. Bumped to ``2.0``
-#: with the keyword-only ``simulate``/``sweep`` signatures, the
+#: Version of the documented :mod:`repro.api` surface. Bumped to ``3.0``
+#: with the :class:`TracePath` enum (replacing raw ``"line"``/``"run"``/
+#: ``"memo"`` strings, which still coerce) and the unified keyword-only
+#: cache bulk-op API (:class:`repro.memory.cache.BulkResult`). ``2.0``
+#: added the keyword-only ``simulate``/``sweep`` signatures, the
 #: ``trace_path=``/``tracer=`` parameters, and the :mod:`repro.errors`
 #: hierarchy.
-__api_version__ = "2.0"
+__api_version__ = "3.0"
 
 __all__ = [
     "CacheError",
@@ -99,6 +103,7 @@ __all__ = [
     "SweepReport",
     "SweepResult",
     "SweepSpec",
+    "TracePath",
     "Tracer",
     "WORKLOAD_NAMES",
     "Workload",
@@ -131,7 +136,7 @@ _DEEP_IMPORT_SHIMS = {
     "Placement": "repro.cp.wg_scheduler",
     "RunMetrics": "repro.metrics.stats",
     "TimingModel": "repro.timing.model",
-    "resolve_trace_path": "repro.gpu.sim",
+    "resolve_trace_path": "repro.gpu.trace_path",
     "trace_sync_ops": "repro.analysis",
 }
 
@@ -169,7 +174,7 @@ def simulate(workload: Union[str, Workload],
              scheduler: str = "static",
              cache: Union[bool, ResultCache] = False,
              jobs: int = 1,
-             trace_path: Optional[str] = None,
+             trace_path: Optional[Union[TracePath, str]] = None,
              tracer: Optional[Tracer] = None) -> SimulationResult:
     """Run one workload under one protocol and return its result.
 
@@ -181,8 +186,9 @@ def simulate(workload: Union[str, Workload],
     :class:`~repro.errors.ConfigError`).
 
     All optional parameters are keyword-only (api version 2.0).
-    ``trace_path`` selects the trace representation (``line``/``run``/
-    ``memo``; default per ``REPRO_TRACE_PATH``). ``tracer`` attaches an
+    ``trace_path`` selects the trace representation — a
+    :class:`TracePath` member or its string value (``"line"``/``"run"``/
+    ``"memo"``; default per ``REPRO_TRACE_PATH``). ``tracer`` attaches an
     observability sink (e.g. :class:`~repro.obs.EventTracer`) — a pure
     observer; results are bit-identical with or without it.
     """
@@ -215,7 +221,7 @@ def sweep(spec: Optional[SweepSpec] = None,
           cache: Union[bool, ResultCache] = True,
           cache_dir=None,
           progress: Optional[ProgressFn] = None,
-          trace_path: Optional[str] = None,
+          trace_path: Optional[Union[TracePath, str]] = None,
           tracer: Optional[Tracer] = None) -> SweepResult:
     """Run a declarative sweep through the parallel engine.
 

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.errors import ConfigError, OracleDivergence
 from repro.gpu.config import GPUConfig
 from repro.gpu.sim import Simulator
+from repro.gpu.trace_path import TracePath
 from repro.workloads.suite import build_workload
 
 #: Table II workloads whose every kernel argument is PARTITIONED and that
@@ -65,7 +66,7 @@ class EquivalenceError(OracleDivergence):
 
 
 def _time_cell(config: GPUConfig, workload_name: str, protocol: str,
-               trace_path: str) -> Tuple[float, int, dict]:
+               trace_path: TracePath) -> Tuple[float, int, dict]:
     """Simulate one cell; return (wall seconds, trace lines, result dict)."""
     sim = Simulator(config, protocol=protocol, trace_path=trace_path)
     workload = build_workload(workload_name, config)
@@ -95,9 +96,9 @@ def run_bench(scale: float = FULL_SCALE, chiplets: int = 4,
             lines = 0
             for rep in range(repeats):
                 dt_l, n_l, d_l = _time_cell(config, workload, protocol,
-                                            "line")
+                                            TracePath.LINE)
                 dt_r, n_r, d_r = _time_cell(config, workload, protocol,
-                                            "run")
+                                            TracePath.RUN)
                 if d_l != d_r or n_l != n_r:
                     raise EquivalenceError(
                         f"trace paths diverged: {workload}/{protocol} "
@@ -154,7 +155,7 @@ def _time_cell_memo(config: GPUConfig, workload_name: str,
                                             Tuple[int, int, int]]:
     """Simulate one cell on the memo path; also return its
     (hits, misses, bypasses) counters."""
-    sim = Simulator(config, protocol=protocol, trace_path="memo")
+    sim = Simulator(config, protocol=protocol, trace_path=TracePath.MEMO)
     workload = build_workload(workload_name, config)
     t0 = time.perf_counter()
     result = sim.run(workload)
@@ -171,19 +172,20 @@ def run_memo_bench(scale: float = FULL_SCALE, chiplets: int = 4,
     """Run the memo-vs-run sweep and return the report dictionary.
 
     Same methodology as :func:`run_bench`, with the memo store cleared
-    up front so the report is reproducible: each cell's first memo
-    repetition populates the store (miss-run) and later repetitions
-    replay from it (hit-runs) — exactly the bench/engine repeat pattern
-    the memo path exists for. Best-of-``repeats`` therefore measures the
-    warm path; every repetition still re-asserts bit-identity against
-    the run path.
+    up front so the report is reproducible: each cell runs one untimed
+    recording repetition that populates the store (miss-run), then
+    ``repeats`` timed repetitions that replay from it (hit-runs) —
+    exactly the bench/engine repeat pattern the memo path exists for.
+    Timing the recording rep would leave the memo side one warm sample
+    short of the run side under best-of-``repeats``, skewing
+    bypass-heavy cells where warm memo and run are near-equal. Every
+    repetition, including the untimed one, re-asserts bit-identity
+    against the run path.
     """
     from repro.gpu.memo import clear_memo_stores
 
-    if repeats < 2:
-        raise ConfigError(
-            f"repeats must be >= 2 (the first memo repetition records, "
-            f"later ones replay), got {repeats}")
+    if repeats < 1:
+        raise ConfigError(f"repeats must be >= 1, got {repeats}")
     workloads = list(workloads) if workloads else list(ITERATIVE_SWEEP)
     protocols = list(protocols) if protocols else list(BENCH_PROTOCOLS)
     config = GPUConfig(num_chiplets=chiplets, scale=scale)
@@ -200,11 +202,18 @@ def run_memo_bench(scale: float = FULL_SCALE, chiplets: int = 4,
             run_best = memo_best = float("inf")
             lines = 0
             counters = (0, 0, 0)
+            # Untimed recording rep: populates the memo store so every
+            # timed rep below measures the warm (replay) path.
+            _, n_w, d_w, _ = _time_cell_memo(config, workload, protocol)
             for rep in range(repeats):
                 dt_r, n_r, d_r = _time_cell(config, workload, protocol,
-                                            "run")
+                                            TracePath.RUN)
                 dt_m, n_m, d_m, counters = _time_cell_memo(
                     config, workload, protocol)
+                if rep == 0 and (d_w != d_r or n_w != n_r):
+                    raise EquivalenceError(
+                        f"memo recording rep diverged from run path: "
+                        f"{workload}/{protocol} (scale {scale:g})")
                 if d_r != d_m or n_r != n_m:
                     raise EquivalenceError(
                         f"memo path diverged from run path: "
@@ -267,7 +276,7 @@ def _time_cell_traced(config: GPUConfig, workload_name: str,
     from repro.obs import EventTracer
 
     tracer = EventTracer()
-    sim = Simulator(config, protocol=protocol, trace_path="run",
+    sim = Simulator(config, protocol=protocol, trace_path=TracePath.RUN,
                     tracer=tracer)
     workload = build_workload(workload_name, config)
     t0 = time.perf_counter()
@@ -309,7 +318,7 @@ def run_obs_bench(scale: float = FULL_SCALE, chiplets: int = 4,
             lines = events = 0
             for rep in range(repeats):
                 dt_n, n_n, d_n = _time_cell(config, workload, protocol,
-                                            "run")
+                                            TracePath.RUN)
                 dt_t, n_t, d_t, events = _time_cell_traced(
                     config, workload, protocol)
                 if d_n != d_t or n_n != n_t:

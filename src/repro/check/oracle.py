@@ -19,15 +19,26 @@ is the CLI front end; CI runs it over a reduced matrix.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ConfigError
 from repro.gpu.config import GPUConfig
 from repro.gpu.sim import Simulator
+from repro.gpu.trace_path import TracePath
 from repro.workloads.suite import WORKLOAD_NAMES, build_workload
 
-#: Trace paths every cell is cross-checked over.
-DEFAULT_TRACE_PATHS: Tuple[str, ...] = ("line", "run", "memo")
+#: Trace paths every cell is cross-checked over (the full enum: line
+#: reference, batched run path, memoized run path).
+DEFAULT_TRACE_PATHS: Tuple[TracePath, ...] = tuple(TracePath)
 
 #: The tentpole's protocol matrix: the paper's three head-to-head
 #: designs. Any registry name is accepted via ``--protocols``.
@@ -156,7 +167,8 @@ def _first_divergent_kernel(ref: Dict[str, Any],
 
 def run_oracle(workloads: Optional[Sequence[str]] = None,
                protocols: Sequence[str] = DEFAULT_PROTOCOLS,
-               trace_paths: Sequence[str] = DEFAULT_TRACE_PATHS,
+               trace_paths: Sequence[Union[TracePath, str]]
+               = DEFAULT_TRACE_PATHS,
                config: Optional[GPUConfig] = None,
                scheduler: str = "static",
                progress: Optional[Callable[[str], None]] = None
@@ -172,10 +184,11 @@ def run_oracle(workloads: Optional[Sequence[str]] = None,
 
     if workloads is None:
         workloads = list(WORKLOAD_NAMES)
+    trace_paths = tuple(TracePath.coerce(p) for p in trace_paths)
     if len(trace_paths) < 2:
         raise ConfigError(
             f"the oracle needs at least two trace paths to compare, got "
-            f"{list(trace_paths)}")
+            f"{[str(p) for p in trace_paths]}")
     if config is None:
         config = GPUConfig()
     report = OracleReport()
@@ -186,7 +199,7 @@ def run_oracle(workloads: Optional[Sequence[str]] = None,
             payloads: Dict[str, Dict[str, Any]] = {}
             states: Dict[str, Dict[str, str]] = {}
             for trace_path in trace_paths:
-                if trace_path == "memo":
+                if trace_path is TracePath.MEMO:
                     clear_memo_stores()
                 workload = build_workload(workload_name, config)
                 sim = Simulator(config, protocol, scheduler=scheduler,
@@ -209,8 +222,8 @@ def run_oracle(workloads: Optional[Sequence[str]] = None,
                         diff.append(f"... {dropped} more differing leaves")
                     report.divergences.append(Divergence(
                         workload=workload_name, protocol=protocol,
-                        trace_path=trace_path,
-                        reference_path=reference_path,
+                        trace_path=str(trace_path),
+                        reference_path=str(reference_path),
                         kind="metrics", kernel_index=index, details=diff))
                 state_diff = [
                     f"{component}: state differs"
@@ -222,8 +235,8 @@ def run_oracle(workloads: Optional[Sequence[str]] = None,
                     cell_ok = False
                     report.divergences.append(Divergence(
                         workload=workload_name, protocol=protocol,
-                        trace_path=trace_path,
-                        reference_path=reference_path,
+                        trace_path=str(trace_path),
+                        reference_path=str(reference_path),
                         kind="state", kernel_index=None,
                         details=state_diff[:MAX_DIFF_LINES]))
             if progress is not None:

@@ -232,8 +232,8 @@ class HMGProtocol(CoherenceProtocol):
                             for s_start, s_end, home
                             in home_map.home_segments(start, end, chiplet)
                             if home == chiplet)
-                res = l2.access_run(start, count, do_load=True,
-                                    do_store=False)
+                res = l2.bulk_access(start=start, count=count,
+                                     load=True, store=False)
                 device.counts[chiplet].l2_local_hits += res.hits
                 return local
         local = 0

@@ -133,7 +133,8 @@ class BaselineProtocol(CoherenceProtocol):
         ops = count * (2 if do_load and do_store else 1)
         device.traffic.l1_request(ops)
         device.traffic.l1_data(ops)
-        res = device.l2s[chiplet].access_run(start, count, do_load, do_store)
+        res = device.l2s[chiplet].bulk_access(start=start, count=count,
+                                              load=do_load, store=do_store)
         counts.l2_local_hits += res.hits
         counts.l2_local_misses += res.misses
         if do_load and do_store:
@@ -154,8 +155,8 @@ class BaselineProtocol(CoherenceProtocol):
         device.traffic.l1_data(count)
         device.traffic.remote_request(count)
         device.traffic.remote_data(count)
-        res = device.l2s[home].access_run(start, count, do_load=True,
-                                          do_store=False)
+        res = device.l2s[home].bulk_access(start=start, count=count,
+                                           load=True, store=False)
         counts.l2_remote_hits += res.hits
         counts.l2_remote_misses += res.misses
         if res.uniform_miss:
@@ -174,7 +175,8 @@ class BaselineProtocol(CoherenceProtocol):
         device.traffic.l1_data(count)
         device.traffic.remote_request(count)
         device.traffic.remote_data(count)
-        dropped, dirty = device.l2s[home].invalidate_run(start, count)
+        inv = device.l2s[home].bulk_invalidate(start=start, count=count)
+        dropped, dirty = inv.dropped, inv.lines
         counts.l2_remote_hits += dropped
         counts.l2_remote_misses += count - dropped
         counts.l2_writethroughs += count

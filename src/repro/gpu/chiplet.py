@@ -9,8 +9,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.memory.cache import SetAssocCache, WritePolicy
+from repro.memory.cache import WritePolicy
 from repro.memory.lds import LocalDataShare
+from repro.memory.npcache import make_cache_core
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.gpu.config import GPUConfig
@@ -20,10 +21,12 @@ class Chiplet:
     """Hardware state of one chiplet."""
 
     def __init__(self, chiplet_id: int, config: "GPUConfig",
-                 l2_policy: WritePolicy = WritePolicy.WRITE_BACK) -> None:
+                 l2_policy: WritePolicy = WritePolicy.WRITE_BACK,
+                 cache_core: str = "dict") -> None:
         self.chiplet_id = chiplet_id
         self.config = config
-        self.l2 = SetAssocCache(
+        self.l2 = make_cache_core(
+            cache_core,
             size_bytes=config.scaled_l2_size,
             assoc=config.l2_assoc,
             line_size=config.line_size,

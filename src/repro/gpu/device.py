@@ -17,6 +17,7 @@ from repro.interconnect.noc import TrafficMeter
 from repro.memory.address import HomeMap
 from repro.memory.cache import SetAssocCache, WritePolicy
 from repro.memory.dram import DRAMModel
+from repro.memory.npcache import make_cache_core
 from repro.memory.l1 import L1Filter
 from repro.memory.translation import AddressTranslator
 from repro.metrics.stats import AccessCounts
@@ -32,12 +33,16 @@ class Device:
     """All hardware state of one simulated MCM-GPU."""
 
     def __init__(self, config: "GPUConfig",
-                 l2_policy: WritePolicy = WritePolicy.WRITE_BACK) -> None:
+                 l2_policy: WritePolicy = WritePolicy.WRITE_BACK,
+                 cache_core: str = "dict") -> None:
         self.config = config
+        self.cache_core = cache_core
         self.chiplets: List[Chiplet] = [
-            Chiplet(i, config, l2_policy) for i in range(config.num_chiplets)
+            Chiplet(i, config, l2_policy, cache_core)
+            for i in range(config.num_chiplets)
         ]
-        self.l3 = SetAssocCache(
+        self.l3 = make_cache_core(
+            cache_core,
             size_bytes=config.scaled_l3_size,
             assoc=config.l3_assoc,
             line_size=config.line_size,
@@ -184,24 +189,26 @@ class Device:
         node for remote reads).
         """
         counts = self.counts[requester]
-        missed, access_devs, fill_devs, writebacks = (
-            self.l3.serve_miss_seq(events))
-        counts.l3_hits += len(events) - len(missed)
+        res = self.l3.bulk_serve(events=events)
+        missed = res.lines
+        counts.l3_hits += res.hits
         counts.l3_misses += len(missed)
         counts.dram_reads += len(missed)
         if missed:
             for stack, n in self.home_map.home_histogram(missed).items():
                 self.dram.record_read(stack, n)
-        if access_devs:
+        if res.evictions:
+            access_devs = [ev.line for ev in res.evictions]
             counts.dram_writes += len(access_devs)
             for stack, n in self.home_map.home_histogram(access_devs).items():
                 self.dram.record_write(stack, n)
-        if fill_devs:
+        if res.fill_evictions:
+            fill_devs = [ev.line for ev in res.fill_evictions]
             self.counts[wb_chiplet].dram_writes += len(fill_devs)
             for stack, n in self.home_map.home_histogram(fill_devs).items():
                 self.dram.record_write(stack, n)
         self.traffic.l2_request(len(events))
-        self.traffic.l2_data(len(events) + writebacks)
+        self.traffic.l2_data(len(events) + res.writebacks)
 
     def fetch_run_from_l3(self, requester: int, start: int,
                           count: int) -> None:
@@ -216,7 +223,8 @@ class Device:
         counts = self.counts[requester]
         self.traffic.l2_request(count)
         self.traffic.l2_data(count)
-        res = self.l3.access_run(start, count, do_load=True, do_store=False)
+        res = self.l3.bulk_access(start=start, count=count,
+                                  load=True, store=False)
         counts.l3_hits += res.hits
         counts.l3_misses += res.misses
         counts.dram_reads += res.misses
@@ -239,7 +247,8 @@ class Device:
         """Bulk form of :meth:`l3_write` (write-through, not to DRAM)
         over an ascending run of distinct lines."""
         self.traffic.l2_data(count)
-        res = self.l3.access_run(start, count, do_load=False, do_store=True)
+        res = self.l3.bulk_access(start=start, count=count,
+                                  load=False, store=True)
         if res.events:
             victims = [victim for _, victim, victim_dirty in res.events
                        if victim_dirty]
@@ -287,8 +296,8 @@ class Device:
         counter is bumped once in aggregate)."""
         if not lines:
             return
-        dirty_victims = [ev.line for ev in self.l3.fill_many(lines, dirty=True)
-                         if ev.dirty]
+        fills = self.l3.bulk_fill(lines=lines, dirty=True)
+        dirty_victims = [ev.line for ev in fills.evictions if ev.dirty]
         if dirty_victims:
             self.counts[chiplet].dram_writes += len(dirty_victims)
             for stack, n in self.home_map.home_histogram(
@@ -307,8 +316,8 @@ class Device:
         l2 = self.chiplets[chiplet].l2
         flushed = 0
         for span in self.translator.translate_ranges(ranges):
-            lines = l2.flush_run(span.first_line,
-                                 span.last_line - span.first_line)
+            lines = l2.bulk_flush(start=span.first_line,
+                                  count=span.last_line - span.first_line).lines
             self._writeback_lines(chiplet, lines)
             flushed += len(lines)
         return flushed
@@ -319,8 +328,9 @@ class Device:
         l2 = self.chiplets[chiplet].l2
         invalidated = 0
         for span in self.translator.translate_ranges(ranges):
-            dropped, dirty = l2.invalidate_run(
-                span.first_line, span.last_line - span.first_line)
-            self._writeback_lines(chiplet, dirty)
-            invalidated += dropped
+            res = l2.bulk_invalidate(
+                start=span.first_line,
+                count=span.last_line - span.first_line)
+            self._writeback_lines(chiplet, res.lines)
+            invalidated += res.dropped
         return invalidated

@@ -204,6 +204,21 @@ def kernel_is_bypassed(kernel) -> bool:
     return False
 
 
+def workload_is_all_bypass(workload) -> bool:
+    """Whether *every* kernel of ``workload`` is memo-bypassed.
+
+    The cheap pre-scan the simulator runs before building a
+    :class:`KernelMemoizer`: pure-roam workloads (BFS/SSSP frontier
+    loops) bypass every kernel, so the memoizer would only ever pay
+    digest-chaining and snapshot bookkeeping without a single replay.
+    Classification reads static argument metadata only — no trace is
+    sampled and no state is hashed — so the scan costs microseconds
+    against the milliseconds it saves per run.
+    """
+    kernels = workload.kernels
+    return bool(kernels) and all(kernel_is_bypassed(k) for k in kernels)
+
+
 class KernelMemoizer:
     """Per-run driver of the memo trace path.
 

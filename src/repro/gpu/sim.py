@@ -18,7 +18,6 @@ the run's wall time is the slowest stream's clock.
 
 from __future__ import annotations
 
-import os
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
@@ -44,41 +43,38 @@ from repro.workloads.base import (
     lines_for_arg,
 )
 
-#: Environment variable selecting the trace representation ("line",
-#: "run", or "memo") for simulators not given an explicit ``trace_path``.
-#: All paths produce bit-identical results
-#: (tests/test_batched_equivalence.py), so the switch exists for
-#: cross-checking and benchmarking, not output.
-TRACE_PATH_ENV = "REPRO_TRACE_PATH"
+#: Canonical trace-path selection API — the enum and resolver live in
+#: :mod:`repro.gpu.trace_path` and are re-exported here for the
+#: historical import site.
+from repro.gpu.trace_path import (  # noqa: E402  (re-export)
+    TRACE_PATH_ENV,
+    TracePath,
+    resolve_trace_path,
+)
 
-#: Trace path used when neither the constructor argument nor the
-#: environment selects one. The run path is the fast default; the line
-#: path is the per-line reference implementation; the memo path adds
-#: kernel-outcome memoization on top of the run path
-#: (:mod:`repro.gpu.memo`).
-DEFAULT_TRACE_PATH = "run"
-
-_TRACE_PATHS = ("line", "run", "memo")
+#: Legacy module constants kept importable (with a warning) via
+#: :func:`__getattr__` below.
+_LEGACY_CONSTANTS = {
+    "DEFAULT_TRACE_PATH": "run",
+    "_TRACE_PATHS": ("line", "run", "memo"),
+}
 
 
-def resolve_trace_path(trace_path: Optional[str] = None) -> str:
-    """Resolve the effective trace path.
+def __getattr__(name: str):
+    """Deprecation shims for the raw-string trace-path constants.
 
-    Precedence, highest first: the explicit ``trace_path`` argument,
-    then the ``REPRO_TRACE_PATH`` environment variable (read at call
-    time, so forked sweep workers honor the environment they inherit),
-    then :data:`DEFAULT_TRACE_PATH`. An empty environment variable
-    counts as unset. Raises :class:`~repro.errors.ConfigError` (a
-    ``ValueError``) on an unknown name — including an unknown *explicit*
-    name when the environment holds a valid one, so typos never silently
-    fall back.
+    Deep imports like ``from repro.gpu.sim import DEFAULT_TRACE_PATH``
+    still resolve (to the historical plain-string values) but warn;
+    use :class:`repro.api.TracePath` instead.
     """
-    if trace_path is None:
-        trace_path = os.environ.get(TRACE_PATH_ENV) or DEFAULT_TRACE_PATH
-    if trace_path not in _TRACE_PATHS:
-        raise ConfigError(
-            f"trace_path must be one of {_TRACE_PATHS}, got {trace_path!r}")
-    return trace_path
+    if name in _LEGACY_CONSTANTS:
+        import warnings
+        warnings.warn(
+            f"repro.gpu.sim.{name} is deprecated; use the "
+            "repro.api.TracePath enum instead",
+            DeprecationWarning, stacklevel=2)
+        return _LEGACY_CONSTANTS[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -187,6 +183,9 @@ class Simulator:
         #: Memo outcome ("hit"/"miss"/"bypass") of the kernel currently
         #: executing, consumed by the kernel-complete tracepoint.
         self._memo_outcome: Optional[str] = None
+        #: Whether the current memo-path run skipped the memoizer
+        #: because every kernel is bypassed (set per run).
+        self._memo_all_bypass = False
         self.energy_model = energy_model or EnergyModel()
         #: Trace lines swept by the most recent :meth:`run` (all kernels);
         #: the bench harness reads this for its lines/sec figures.
@@ -207,7 +206,11 @@ class Simulator:
     def run(self, workload: Workload) -> SimulationResult:
         """Simulate ``workload`` end to end and return its metrics."""
         config = self.config
-        device = Device(config)
+        # The per-line reference path keeps the dict-backed cache core;
+        # the batched paths run on the vectorized numpy core. Both are
+        # bit-identical (the differential oracle compares across them).
+        device = Device(config, cache_core=(
+            "dict" if self.trace_path is TracePath.LINE else "numpy"))
         # Installed before protocol construction so components built by
         # the protocol (e.g. the coherence table) share the tracer.
         tracer = self.tracer
@@ -231,7 +234,7 @@ class Simulator:
                            if self.check_enabled else None)
         self.last_sanitizer = self._sanitizer
         memoizer = self._make_memoizer(device, protocol, global_cp, driver,
-                                       wg_scheduler)
+                                       wg_scheduler, workload)
         metrics = RunMetrics(workload=workload.name,
                              protocol=protocol.name,
                              num_chiplets=config.num_chiplets)
@@ -250,8 +253,13 @@ class Simulator:
                 km = self._run_kernel_memo(kernel, driver, device, protocol,
                                            global_cp, timing, memoizer)
             else:
+                if self._memo_all_bypass:
+                    self._memo_outcome = "bypass"
                 km = self._run_kernel(kernel, driver, device, protocol,
                                       global_cp, timing)
+                if self._memo_all_bypass and tracer.enabled:
+                    tracer.memo_event(outcome="bypass", name=km.kernel_name,
+                                      index=km.kernel_index)
             metrics.add_kernel(km)
             stream_clocks[kernel.stream_id] += km.cycles
             if tracer.enabled:
@@ -290,6 +298,10 @@ class Simulator:
             result.memo_hits = memoizer.hits
             result.memo_misses = memoizer.misses
             result.memo_bypasses = memoizer.bypasses
+        elif self._memo_all_bypass:
+            result.memo_hits = 0
+            result.memo_misses = 0
+            result.memo_bypasses = len(workload.kernels)
         if tracer.enabled:
             tracer.run_end(wall_cycles=wall, kernels=len(workload.kernels))
             result.obs = self._harvest_obs(tracer)
@@ -308,14 +320,29 @@ class Simulator:
         return registry.aggregate().to_dict(include_children=False)
 
     def _make_memoizer(self, device, protocol, global_cp, driver,
-                       wg_scheduler):
+                       wg_scheduler, workload):
         """Build the run's :class:`~repro.gpu.memo.KernelMemoizer`, or
         ``None`` off the memo path. Custom protocol factories have no
         stable registry name to key the shared store by, so they run
-        unmemoized even under ``trace_path='memo'``."""
-        if self.trace_path != "memo" or callable(self.protocol_name):
+        unmemoized even under ``trace_path='memo'``.
+
+        When *every* kernel in the workload is memo-bypassed (pure roam
+        workloads such as bfs/sssp), the memoizer would be pure
+        overhead: each bypass still forces pending restores to
+        materialize and chains the workload digest. The cheap pre-scan
+        below skips the machinery entirely; :meth:`run` still reports
+        the bypass counters and tracepoints, so the memo path can never
+        lose to the run path on all-bypass workloads.
+        """
+        self._memo_all_bypass = False
+        if self.trace_path is not TracePath.MEMO or callable(
+                self.protocol_name):
             return None
-        from repro.gpu.memo import KernelMemoizer, store_for
+        from repro.gpu.memo import (KernelMemoizer, store_for,
+                                    workload_is_all_bypass)
+        if workload_is_all_bypass(workload):
+            self._memo_all_bypass = True
+            return None
         context = (repr(self.config), protocol.name, self.scheduler)
         return KernelMemoizer(store_for(context), device, protocol,
                               global_cp, driver, wg_scheduler)
@@ -444,7 +471,7 @@ class Simulator:
         """
         total_lines = 0
         caches_remote = protocol.caches_remote_locally
-        batched = self.trace_path != "line"
+        batched = self.trace_path is not TracePath.LINE
         for arg in kernel.args:
             kind = arg.effective_kind
             for logical, chiplet in enumerate(placement.chiplets):

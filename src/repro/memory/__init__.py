@@ -21,10 +21,21 @@ from repro.memory.address import (
     lines_in_range,
     page_of,
 )
-from repro.memory.cache import CacheStats, SetAssocCache, WritePolicy
+from repro.memory.cache import (
+    BulkResult,
+    CacheStats,
+    Eviction,
+    SetAssocCache,
+    WritePolicy,
+)
 from repro.memory.dram import DRAMModel
 from repro.memory.l1 import L1Filter
 from repro.memory.lds import LocalDataShare
+from repro.memory.npcache import (
+    NUMPY_AVAILABLE,
+    NumpyCacheCore,
+    make_cache_core,
+)
 from repro.memory.translation import AddressTranslator, PageSpan
 
 __all__ = [
@@ -37,9 +48,14 @@ __all__ = [
     "line_of",
     "lines_in_range",
     "page_of",
+    "BulkResult",
     "CacheStats",
+    "Eviction",
+    "NUMPY_AVAILABLE",
+    "NumpyCacheCore",
     "SetAssocCache",
     "WritePolicy",
+    "make_cache_core",
     "DRAMModel",
     "L1Filter",
     "LocalDataShare",

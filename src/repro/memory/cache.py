@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import enum
 import hashlib
+import warnings
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 
@@ -111,6 +112,62 @@ class RunResult:
     def all_hit(self) -> bool:
         """Whether every first access hit."""
         return self.misses == 0
+
+
+@dataclass
+class BulkResult:
+    """Outcome of one unified ``bulk_*`` cache operation.
+
+    Every bulk operation (:meth:`SetAssocCache.bulk_access`,
+    :meth:`~SetAssocCache.bulk_fill`, :meth:`~SetAssocCache.bulk_serve`,
+    :meth:`~SetAssocCache.bulk_flush`,
+    :meth:`~SetAssocCache.bulk_invalidate`) returns this one shape; the
+    fields an operation does not produce keep their zero/empty defaults.
+
+    Attributes:
+        hits: First-access hits (``bulk_access``/``bulk_serve``).
+        misses: First-access misses.
+        lines: The operation's ordered primary line payload — missed
+            lines for ``bulk_serve``, written-back lines for
+            ``bulk_flush``, dirty dropped lines for ``bulk_invalidate``.
+        evictions: Capacity evictions in occurrence order
+            (``bulk_fill``), or the *dirty* victims of the demand
+            accesses (``bulk_serve``).
+        fill_evictions: Dirty victims of the victim-writeback fills a
+            ``bulk_serve`` performed (attributed differently from
+            :attr:`evictions` by the device).
+        writebacks: Lines written back by the operation.
+        dropped: Lines dropped by a ``bulk_invalidate``.
+        events: Ordered ``(line, victim_line, victim_dirty)`` miss
+            stream of a ``bulk_access`` (``None`` when
+            :attr:`uniform_miss` is set — the stream is the run itself).
+        uniform_miss: Every line missed with no eviction; the caller may
+            recurse with another bulk operation instead of replaying
+            events.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    lines: List[int] = field(default_factory=list)
+    evictions: List[Eviction] = field(default_factory=list)
+    fill_evictions: List[Eviction] = field(default_factory=list)
+    writebacks: int = 0
+    dropped: int = 0
+    events: Optional[List[Tuple[int, Optional[int], bool]]] = None
+    uniform_miss: bool = False
+
+    @property
+    def all_hit(self) -> bool:
+        """Whether every first access hit."""
+        return self.misses == 0
+
+
+def _warn_legacy_bulk(old: str, new: str) -> None:
+    """One :class:`DeprecationWarning` per legacy bulk-op call site."""
+    warnings.warn(
+        f"SetAssocCache.{old}() is deprecated; use the keyword-only "
+        f"{new}() returning a BulkResult instead",
+        DeprecationWarning, stacklevel=3)
 
 
 class SetAssocCache:
@@ -253,7 +310,7 @@ class SetAssocCache:
         cset[line] = dirty or bool(prev)
         return evicted
 
-    def fill_many(self, lines, dirty: bool = False) -> List[Eviction]:
+    def _fill_many(self, lines, dirty: bool = False) -> List[Eviction]:
         """Bulk :meth:`fill` over an iterable of lines, in order.
 
         Returns the evictions in occurrence order (callers absorb them
@@ -298,8 +355,8 @@ class SetAssocCache:
     # differential tests in tests/test_cache_runs.py and
     # tests/test_batched_equivalence.py enforce the equivalence.
 
-    def access_run(self, start: int, count: int, do_load: bool,
-                   do_store: bool) -> RunResult:
+    def _access_run(self, start: int, count: int, do_load: bool,
+                    do_store: bool) -> RunResult:
         """Demand-access every line in ``[start, start + count)``.
 
         Equivalent to, for each line in ascending order: an
@@ -544,8 +601,8 @@ class SetAssocCache:
             cset[line] = store_dirty
         return hits, evictions, dirty_evictions
 
-    def serve_miss_seq(self, events) -> Tuple[List[int], List[int],
-                                              List[int], int]:
+    def _serve_miss_seq(self, events) -> Tuple[List[int], List[int],
+                                               List[int], int]:
         """Apply an ordered L2 miss/victim event stream to this cache.
 
         For each ``(line, victim_line, victim_dirty)`` event this
@@ -618,7 +675,7 @@ class SetAssocCache:
         stats.dirty_evictions += dirty_evictions
         return missed, access_devs, fill_devs, writebacks
 
-    def flush_run(self, start: int, count: int) -> List[int]:
+    def _flush_run(self, start: int, count: int) -> List[int]:
         """Bulk :meth:`flush_line` over ``[start, start + count)``.
 
         Returns the written-back lines in ascending order — the order a
@@ -643,7 +700,7 @@ class SetAssocCache:
         self.stats.lines_flushed += len(flushed)
         return flushed
 
-    def invalidate_run(self, start: int, count: int) -> Tuple[int, List[int]]:
+    def _invalidate_run(self, start: int, count: int) -> Tuple[int, List[int]]:
         """Bulk :meth:`invalidate_line` over ``[start, start + count)``.
 
         Returns ``(lines_dropped, dirty_lines)`` with the dirty lines in
@@ -679,6 +736,129 @@ class SetAssocCache:
         self._resident -= dropped
         self.stats.lines_invalidated += dropped
         return dropped, dirty_lines
+
+    # ------------------------------------------------------------------
+    # Unified bulk-op API
+    # ------------------------------------------------------------------
+    #
+    # One keyword-only signature shape per operation, all returning a
+    # shared :class:`BulkResult`. This is the documented protocol both
+    # cache cores (this dict-backed reference and the numpy core in
+    # :mod:`repro.memory.npcache`) implement; the historical five-shape
+    # methods below survive as deprecated shims.
+
+    def bulk_access(self, *, start: int, count: int, load: bool,
+                    store: bool) -> BulkResult:
+        """Demand-access every line in ``[start, start + count)``.
+
+        Per line, in ascending order: an ``access(line, False)`` if
+        ``load``, then an ``access(line, True)`` if ``store`` (the
+        read-modify-write composition ``lines_for_arg`` traces produce).
+        """
+        res = self._access_run(start, count, load, store)
+        return BulkResult(hits=res.hits, misses=res.misses,
+                          events=res.events, uniform_miss=res.uniform_miss)
+
+    def bulk_fill(self, *, lines, dirty: bool = False) -> BulkResult:
+        """Bulk :meth:`fill` over an iterable of lines, in order.
+
+        :attr:`BulkResult.evictions` holds the capacity evictions in
+        occurrence order.
+        """
+        return BulkResult(evictions=self._fill_many(lines, dirty))
+
+    def bulk_serve(self, *, events) -> BulkResult:
+        """Apply an ordered L2 miss/victim event stream to this cache.
+
+        For each ``(line, victim_line, victim_dirty)`` event: a read
+        ``access(line)`` followed, if the victim was dirty, by a
+        ``fill(victim_line, dirty=True)``. :attr:`BulkResult.lines` holds
+        the missed lines in order; :attr:`BulkResult.evictions` /
+        :attr:`BulkResult.fill_evictions` the dirty victims of the
+        accesses and of the victim fills respectively (callers attribute
+        the two differently); :attr:`BulkResult.writebacks` the victim
+        writebacks performed.
+        """
+        missed, access_devs, fill_devs, writebacks = (
+            self._serve_miss_seq(events))
+        return BulkResult(
+            hits=len(events) - len(missed), misses=len(missed),
+            lines=missed,
+            evictions=[Eviction(line, True) for line in access_devs],
+            fill_evictions=[Eviction(line, True) for line in fill_devs],
+            writebacks=writebacks)
+
+    def bulk_flush(self, *, start: Optional[int] = None,
+                   count: Optional[int] = None) -> BulkResult:
+        """Write back dirty lines, retaining clean copies.
+
+        With no arguments this is the whole-cache implicit release
+        (:meth:`flush_dirty`); with ``start``/``count`` it flushes only
+        ``[start, start + count)``. :attr:`BulkResult.lines` holds the
+        written-back lines in the order a per-line walk would emit them.
+        """
+        if start is None:
+            if count is not None:
+                raise ValueError("bulk_flush: count requires start")
+            flushed = self.flush_dirty()
+        else:
+            if count is None:
+                raise ValueError("bulk_flush: start requires count")
+            flushed = self._flush_run(start, count)
+        return BulkResult(lines=flushed, writebacks=len(flushed))
+
+    def bulk_invalidate(self, *, start: Optional[int] = None,
+                        count: Optional[int] = None) -> BulkResult:
+        """Drop resident lines (implicit acquire).
+
+        With no arguments this drops everything (:meth:`invalidate_all`);
+        with ``start``/``count`` only ``[start, start + count)``.
+        :attr:`BulkResult.dropped` counts the dropped lines;
+        :attr:`BulkResult.lines` holds the dirty ones (ascending for
+        ranges, walk order for the whole cache) that the caller must
+        write back for safety.
+        """
+        if start is None:
+            if count is not None:
+                raise ValueError("bulk_invalidate: count requires start")
+            dropped, dirty_lines = self.invalidate_all()
+        else:
+            if count is None:
+                raise ValueError("bulk_invalidate: start requires count")
+            dropped, dirty_lines = self._invalidate_run(start, count)
+        return BulkResult(dropped=dropped, lines=dirty_lines)
+
+    # ------------------------------------------------------------------
+    # Deprecated bulk-op shims (pre-BulkResult shapes)
+    # ------------------------------------------------------------------
+
+    def access_run(self, start: int, count: int, do_load: bool,
+                   do_store: bool) -> RunResult:
+        """Deprecated: use :meth:`bulk_access`."""
+        _warn_legacy_bulk("access_run", "bulk_access")
+        res = self._access_run(start, count, do_load, do_store)
+        return res
+
+    def fill_many(self, lines, dirty: bool = False) -> List[Eviction]:
+        """Deprecated: use :meth:`bulk_fill`."""
+        _warn_legacy_bulk("fill_many", "bulk_fill")
+        return self._fill_many(lines, dirty)
+
+    def serve_miss_seq(self, events) -> Tuple[List[int], List[int],
+                                              List[int], int]:
+        """Deprecated: use :meth:`bulk_serve`."""
+        _warn_legacy_bulk("serve_miss_seq", "bulk_serve")
+        return self._serve_miss_seq(events)
+
+    def flush_run(self, start: int, count: int) -> List[int]:
+        """Deprecated: use :meth:`bulk_flush`."""
+        _warn_legacy_bulk("flush_run", "bulk_flush")
+        return self._flush_run(start, count)
+
+    def invalidate_run(self, start: int, count: int) -> Tuple[int, List[int]]:
+        """Deprecated: use :meth:`bulk_invalidate`."""
+        _warn_legacy_bulk("invalidate_run", "bulk_invalidate")
+        return self._invalidate_run(start, count)
 
     # ------------------------------------------------------------------
     # Synchronization operations (implicit acquire / release)

@@ -67,6 +67,17 @@ class L1Filter:
         if touches_per_line < 1.0:
             raise ValueError(
                 f"touches_per_line must be >= 1, got {touches_per_line}")
+        if touches_per_line == 1.0:
+            # Streaming fast path: every touch is a first touch, so
+            # nothing hits the L1 and the whole stream forwards as
+            # distinct lines — skip the rounding arithmetic on the
+            # hottest per-(kernel, arg, chiplet) call shape.
+            return L1Result(
+                l1_accesses=distinct_lines,
+                l1_hits=0,
+                l2_distinct=distinct_lines,
+                l2_repeats=0,
+            )
         total = int(round(distinct_lines * touches_per_line))
         repeats = max(0, total - distinct_lines)
         hits = int(round(repeats * self.repeat_hit_rate))

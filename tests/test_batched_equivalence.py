@@ -328,17 +328,17 @@ def test_resident_lines_tracks_full_walk():
     def walk():
         return sum(len(s) for s in cache._sets.values())
 
-    cache.access_run(0, 200, True, True)
+    cache.bulk_access(start=0, count=200, load=True, store=True)
     assert cache.resident_lines == walk()
-    cache.access_run(100, 300, True, False)
+    cache.bulk_access(start=100, count=300, load=True, store=False)
     assert cache.resident_lines == walk()
-    cache.invalidate_run(64, 64)
+    cache.bulk_invalidate(start=64, count=64)
     assert cache.resident_lines == walk()
     cache.flush_dirty()
     assert cache.resident_lines == walk()
-    cache.fill_many(range(500, 600), dirty=True)
+    cache.bulk_fill(lines=range(500, 600), dirty=True)
     assert cache.resident_lines == walk()
-    cache.serve_miss_seq([(700, None, False), (701, 500, True)])
+    cache.bulk_serve(events=[(700, None, False), (701, 500, True)])
     assert cache.resident_lines == walk()
     cache.invalidate_line(700)
     assert cache.resident_lines == walk()

@@ -1,6 +1,6 @@
 """Differential tests: SetAssocCache bulk run ops vs the per-line primitives.
 
-`access_run` / `flush_run` / `invalidate_run` promise bit-exact
+`bulk_access` / `bulk_flush` / `bulk_invalidate` promise bit-exact
 equivalence with issuing the per-line calls in ascending line order:
 identical residency, LRU order, dirty flags, `CacheStats`, and (for
 accesses) an identical ordered miss/victim event stream. These tests
@@ -28,7 +28,7 @@ def snapshot(cache):
 
 
 def reference_access_run(cache, start, count, do_load, do_store):
-    """The per-line semantics access_run must reproduce."""
+    """The per-line semantics bulk_access must reproduce."""
     hits = 0
     events = []
     for line in range(start, start + count):
@@ -74,7 +74,8 @@ def test_access_run_matches_per_line(num_lines, assoc, policy, warmup,
     prepopulate(bulk, warmup)
     prepopulate(ref, warmup)
 
-    res = bulk.access_run(start, count, do_load, do_store)
+    res = bulk.bulk_access(start=start, count=count,
+                           load=do_load, store=do_store)
     ref_hits, ref_events = reference_access_run(ref, start, count,
                                                 do_load, do_store)
 
@@ -106,13 +107,14 @@ def test_flush_and_invalidate_run_match_per_line(num_lines, assoc, warmup,
     prepopulate(bulk, warmup)
     prepopulate(ref, warmup)
 
-    flushed = bulk.flush_run(start, count)
+    flushed = bulk.bulk_flush(start=start, count=count).lines
     ref_flushed = [line for line in range(start, start + count)
                    if ref.flush_line(line)]
     assert flushed == ref_flushed
     assert snapshot(bulk) == snapshot(ref)
 
-    dropped, dirty = bulk.invalidate_run(start, count)
+    inv = bulk.bulk_invalidate(start=start, count=count)
+    dropped, dirty = inv.dropped, inv.lines
     ref_dropped = 0
     ref_dirty = []
     for line in range(start, start + count):
@@ -127,15 +129,15 @@ def test_flush_and_invalidate_run_match_per_line(num_lines, assoc, warmup,
 
 def test_access_run_uniform_miss_on_cold_cache():
     cache = make_cache(64, 4)
-    res = cache.access_run(0, 16, True, False)
+    res = cache.bulk_access(start=0, count=16, load=True, store=False)
     assert res.uniform_miss and res.misses == 16 and res.events is None
     assert cache.stats.read_misses == 16
 
 
 def test_access_run_all_hit_refreshes_lru():
     cache = make_cache(64, 4)
-    cache.access_run(0, 16, True, False)
-    res = cache.access_run(0, 16, True, False)
+    cache.bulk_access(start=0, count=16, load=True, store=False)
+    res = cache.bulk_access(start=0, count=16, load=True, store=False)
     assert res.all_hit and res.hits == 16 and res.events == []
     assert cache.stats.read_hits == 16
 
@@ -143,22 +145,22 @@ def test_access_run_all_hit_refreshes_lru():
 def test_access_run_rejects_no_op_kind():
     cache = make_cache(64, 4)
     with pytest.raises(ValueError):
-        cache.access_run(0, 4, False, False)
+        cache.bulk_access(start=0, count=4, load=False, store=False)
 
 
 def test_access_run_empty_run_is_noop():
     cache = make_cache(64, 4)
     before = snapshot(cache)
-    res = cache.access_run(5, 0, True, True)
+    res = cache.bulk_access(start=5, count=0, load=True, store=True)
     assert res.hits == 0 and res.misses == 0 and res.events == []
     assert snapshot(cache) == before
 
 
 def test_load_store_run_marks_lines_dirty_under_write_back():
     cache = make_cache(64, 4)
-    cache.access_run(0, 8, True, True)
+    cache.bulk_access(start=0, count=8, load=True, store=True)
     assert cache.dirty_lines == 8
     # Write-through never dirties.
     wt = make_cache(64, 4, WritePolicy.WRITE_THROUGH)
-    wt.access_run(0, 8, True, True)
+    wt.bulk_access(start=0, count=8, load=True, store=True)
     assert wt.dirty_lines == 0

@@ -57,8 +57,8 @@ def _config(**kw) -> GPUConfig:
 
 def _touched_cache() -> SetAssocCache:
     cache = SetAssocCache(size_bytes=64 * 64, assoc=4, name="L2")
-    cache.access_run(0, 100, True, True)
-    cache.access_run(50, 30, True, False)
+    cache.bulk_access(start=0, count=100, load=True, store=True)
+    cache.bulk_access(start=50, count=30, load=True, store=False)
     return cache
 
 
@@ -76,7 +76,7 @@ def test_cache_snapshot_restore_round_trip():
     digest = cache.memo_digest()
     state = cache.memo_state()
     snapshot = cache.memo_snapshot()
-    cache.access_run(200, 150, True, True)
+    cache.bulk_access(start=200, count=150, load=True, store=True)
     cache.invalidate_all()
     assert cache.memo_digest() != digest
     cache.memo_restore(snapshot)
@@ -84,7 +84,7 @@ def test_cache_snapshot_restore_round_trip():
     assert cache.memo_state() == state
     # The restored cache must stay usable and the shared snapshot
     # untouched by further traffic.
-    cache.access_run(0, 10, True, False)
+    cache.bulk_access(start=0, count=10, load=True, store=False)
     cache.memo_restore(snapshot)
     assert cache.memo_digest() == digest
 
@@ -92,7 +92,7 @@ def test_cache_snapshot_restore_round_trip():
 def test_cache_stats_delta_round_trip():
     cache = _touched_cache()
     before = cache.stats.counter_tuple()
-    cache.access_run(300, 80, True, True)
+    cache.bulk_access(start=300, count=80, load=True, store=True)
     delta = cache.stats.delta_since(before)
     assert any(delta)
     fresh = _touched_cache()
