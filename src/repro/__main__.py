@@ -30,6 +30,14 @@ the extension: ``.json`` → Chrome trace, ``.csv`` → CSV, else JSONL).
   machine state, and report the first divergent kernel otherwise
   (``--sanitize`` additionally asserts coherence invariants at every
   kernel boundary; see ``repro.check``).
+* ``dist`` — run a sweep through the distributed engine: cells shard
+  into content-keyed work units over a shared, file-locked result cache
+  with in-flight dedupe. ``--mode run`` executes locally with
+  ``--workers`` processes; ``--mode scatter/work/gather`` splits the
+  sweep across any hosts that share ``--work-dir``.
+* ``explore`` — successive-halving Pareto search over chiplet count x
+  coherence-table capacity x L2 size, scored on (cpelide cycles,
+  hardware-cost proxy); prints the frontier of the final rung.
 
 ``run`` and ``occupancy`` execute through the sweep engine: ``--jobs N``
 fans simulations out over worker processes, and completed cells are
@@ -217,17 +225,39 @@ def cmd_occupancy(args) -> int:
     return 0
 
 
+def _warn_environment(report, reference, label: str) -> None:
+    """Warn when two bench reports were not timed on the same machine."""
+    from repro import bench
+
+    for diff in bench.compare_environments(report, reference):
+        _progress(f"WARNING: {label}: {diff} — timings are not "
+                  f"comparable across environments")
+
+
 def _write_bench_report(report, path: str) -> None:
     """Write a bench report to ``path`` plus a repo-root copy.
 
     Perf-trajectory tooling scans root-level ``BENCH_*.json``, while the
     canonical reports live under ``benchmarks/perf/`` — emit both (the
-    copy is skipped when ``path`` already is the root file).
+    copy is skipped when ``path`` already is the root file). If ``path``
+    already holds a report from a *different* environment, warn before
+    overwriting: the trajectory across the two files mixes machines.
     """
+    import json
     import os
 
     from repro import bench
 
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                previous = json.load(fh)
+        except (OSError, ValueError):
+            previous = None
+        if previous is not None:
+            _warn_environment(report, previous,
+                              f"overwriting {path} from a different "
+                              f"environment")
     bench.write_report(report, path)
     _progress(f"wrote {path}")
     root_copy = os.path.basename(path)
@@ -317,11 +347,136 @@ def cmd_bench(args) -> int:
             else:
                 with open(args.out, encoding="utf-8") as fh:
                     reference = json.load(fh)
+                _warn_environment(report, reference,
+                                  f"obs reference {args.out}")
                 ok, message = bench.check_obs_overhead(
                     report, reference, tolerance=args.max_overhead)
                 _progress(("OK: " if ok else "FAIL: ") + message)
                 rc |= 0 if ok else 1
+    if args.sweep == "dist":
+        # The dist sweep times orchestration, not simulation fidelity —
+        # default to the quick scale so the four worker counts plus the
+        # warm pass stay tractable.
+        dist_scale = args.scale if args.scale is not None else (
+            1 / 64 if args.quick else bench.QUICK_SCALE)
+        worker_counts = (tuple(args.dist_workers) if args.dist_workers
+                         else bench.DIST_WORKER_COUNTS)
+        _progress(f"benchmarking distributed sweep scaling at scale "
+                  f"{dist_scale:g} ({args.chiplets} chiplets, "
+                  f"workers {list(worker_counts)})")
+        report = bench.run_dist_bench(scale=dist_scale,
+                                      chiplets=args.chiplets,
+                                      worker_counts=worker_counts,
+                                      workloads=workloads,
+                                      progress=_progress)
+        _write_bench_report(report, args.dist_out)
+        print(bench.summarize_dist(report))
+        if args.check:
+            ok, message = bench.check_dist_scaling(
+                report, min_efficiency=args.min_dist_efficiency)
+            _progress(("OK: " if ok else "FAIL: ") + message)
+            rc |= 0 if ok else 1
     return rc
+
+
+def _dist_spec(args):
+    """The sweep a ``dist`` invocation distributes."""
+    from repro.engine import SweepSpec
+
+    scale = DEFAULT_SCALE if args.scale is None else args.scale
+    return SweepSpec.grid(workloads=args.workloads or None,
+                          protocols=tuple(args.protocols),
+                          chiplet_counts=(args.chiplets,), scale=scale)
+
+
+def cmd_dist(args) -> int:
+    from repro.engine import DistSweepRunner, dist
+
+    tracer = None
+    if args.trace_out:
+        from repro.obs import EventTracer
+        tracer = EventTracer()
+    if args.mode != "run" and not args.work_dir:
+        _progress(f"dist --mode {args.mode} requires --work-dir")
+        return 2
+    report = None
+    if args.mode == "scatter":
+        units = dist.scatter(_dist_spec(args), args.work_dir,
+                             workers=args.workers,
+                             batch_size=args.batch_size, tracer=tracer)
+        cells = sum(u.cells for u in units)
+        print(f"scattered {cells} cells into {len(units)} units "
+              f"under {args.work_dir}")
+    elif args.mode == "work":
+        executed = dist.work(args.work_dir, max_units=args.max_units,
+                             progress=_progress, tracer=tracer)
+        print(f"executed {executed} units from {args.work_dir}")
+    elif args.mode == "gather":
+        result = dist.gather(args.work_dir)
+        report = result.report
+        print(report.summary())
+    else:
+        runner = DistSweepRunner(workers=args.workers,
+                                 cache=args.cache_dir,
+                                 batch_size=args.batch_size,
+                                 progress=_progress, tracer=tracer)
+        result = runner.run(_dist_spec(args))
+        report = result.report
+        print(report.summary())
+    if tracer is not None:
+        _write_sweep_trace(tracer, args.trace_out)
+    if args.expect_cached:
+        if report is None:
+            _progress("--expect-cached only applies to --mode run/gather")
+            return 2
+        if report.executed:
+            _progress(f"FAIL: expected every cell cached, but "
+                      f"{report.executed} of {report.total_jobs} were "
+                      f"recomputed")
+            return 1
+        _progress(f"OK: all {report.total_jobs} cells served from the "
+                  f"shared cache (0 recomputed)")
+    return 0
+
+
+def cmd_explore(args) -> int:
+    from repro.engine import SharedResultCache
+    from repro.experiments import explore as explore_experiment
+
+    if args.rungs:
+        rungs = tuple(args.rungs)
+    elif args.quick:
+        rungs = explore_experiment.QUICK_RUNGS
+    else:
+        rungs = explore_experiment.DEFAULT_RUNGS
+    chiplet_counts = (tuple(args.chiplet_counts) if args.chiplet_counts
+                      else ((2, 4) if args.quick
+                            else explore_experiment.DEFAULT_CHIPLET_COUNTS))
+    table_windows = (tuple(args.table_windows) if args.table_windows
+                     else explore_experiment.DEFAULT_TABLE_WINDOWS)
+    l2_mb = (tuple(args.l2_mb) if args.l2_mb
+             else explore_experiment.DEFAULT_L2_MB)
+    if args.no_cache:
+        cache = False
+    elif args.cache_dir:
+        cache = SharedResultCache(root=args.cache_dir)
+    else:
+        cache = True
+    result = explore_experiment.explore(
+        chiplet_counts=chiplet_counts, table_windows=table_windows,
+        l2_mb=l2_mb, workloads=tuple(args.workloads) if args.workloads
+        else explore_experiment.DEFAULT_SEED_WORKLOADS,
+        rungs=rungs, workers=args.workers, cache=cache,
+        progress=_progress)
+    print(result.render())
+    if args.out:
+        import json
+
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+            fh.write("\n")
+        _progress(f"wrote {args.out}")
+    return 0
 
 
 def cmd_check(args) -> int:
@@ -434,11 +589,13 @@ def main(argv=None) -> int:
     bench_p = sub.add_parser(
         "bench", help="time the trace paths against each other")
     bench_p.add_argument("--sweep", default="both",
-                         choices=("trace", "memo", "both", "obs"),
+                         choices=("trace", "memo", "both", "obs", "dist"),
                          help="which comparison to run: line-vs-run "
                               "('trace'), memo-vs-run ('memo'), both "
-                              "(default), or disabled-vs-recording "
-                              "tracer overhead ('obs')")
+                              "(default), disabled-vs-recording tracer "
+                              "overhead ('obs'), or distributed sweep "
+                              "scaling over the shared result cache "
+                              "('dist')")
     bench_p.add_argument("--workloads", nargs="+", default=None,
                          choices=WORKLOAD_NAMES + EXTRA_WORKLOADS,
                          help="workload subset (default: each sweep's "
@@ -478,6 +635,99 @@ def main(argv=None) -> int:
                               "disabled-tracer overhead vs the "
                               "line-vs-run report at --out "
                               "(default 0.02 = 2%%)")
+    bench_p.add_argument("--dist-out",
+                         default="benchmarks/perf/BENCH_dist.json",
+                         help="distributed-scaling report path "
+                              "(default benchmarks/perf/BENCH_dist.json)")
+    bench_p.add_argument("--dist-workers", nargs="+", type=int,
+                         default=None,
+                         help="worker counts the dist sweep times "
+                              "(default 1 2 4 8)")
+    bench_p.add_argument("--min-dist-efficiency", type=float, default=0.5,
+                         help="with --sweep dist --check: scaling-"
+                              "efficiency floor per worker count — "
+                              "speedup over min(workers, cpu_count) "
+                              "(default 0.5)")
+
+    dist_p = sub.add_parser(
+        "dist", help="distribute a sweep: sharded workers over a shared "
+                     "result cache with in-flight dedupe")
+    dist_p.add_argument("--mode", default="run",
+                        choices=("run", "scatter", "work", "gather"),
+                        help="'run' executes locally with --workers "
+                             "processes (default); 'scatter' writes the "
+                             "sweep into --work-dir as work units, "
+                             "'work' executes units from any host that "
+                             "sees --work-dir, 'gather' reassembles the "
+                             "finished sweep")
+    dist_p.add_argument("--workloads", nargs="+", default=None,
+                        choices=WORKLOAD_NAMES + EXTRA_WORKLOADS,
+                        help="workload subset (default: all 24)")
+    dist_p.add_argument("--protocols", nargs="+",
+                        default=["baseline", "cpelide"],
+                        choices=protocol_names())
+    dist_p.add_argument("--workers", type=int, default=2,
+                        help="worker processes for --mode run, or the "
+                             "expected worker count scatter sizes units "
+                             "for (default 2)")
+    dist_p.add_argument("--work-dir", default=None,
+                        help="filesystem work directory shared by "
+                             "scatter/work/gather (any host that mounts "
+                             "it can run 'work')")
+    dist_p.add_argument("--cache-dir", default=None,
+                        help="shared result cache root for --mode run "
+                             "(default: REPRO_CACHE_DIR or "
+                             "~/.cache/repro-cpelide)")
+    dist_p.add_argument("--batch-size", type=int, default=None,
+                        help="cells per work unit (default: sized for "
+                             "--workers)")
+    dist_p.add_argument("--max-units", type=int, default=None,
+                        help="with --mode work: stop after this many "
+                             "units (default: drain the directory)")
+    dist_p.add_argument("--expect-cached", action="store_true",
+                        help="exit nonzero unless every cell was served "
+                             "from the shared cache (0 recomputed) — "
+                             "the CI smoke gate for cache reuse")
+    dist_p.add_argument("--trace-out", default=None,
+                        help="attach an observability tracer and export "
+                             "the event trace (shard timeline) to this "
+                             "file")
+
+    explore_p = sub.add_parser(
+        "explore", help="Pareto search over chiplet count x table "
+                        "capacity x L2 size (successive halving)")
+    explore_p.add_argument("--chiplet-counts", nargs="+", type=int,
+                           default=None,
+                           help="candidate chiplet counts "
+                                "(default 2 4 6 8; --quick: 2 4)")
+    explore_p.add_argument("--table-windows", nargs="+", type=int,
+                           default=None,
+                           help="candidate per-kernel table windows "
+                                "(entries = 8x window; default 4 8 16)")
+    explore_p.add_argument("--l2-mb", nargs="+", type=int, default=None,
+                           help="candidate per-chiplet L2 sizes in MB "
+                                "(default 4 8 16)")
+    explore_p.add_argument("--workloads", nargs="+", default=None,
+                           choices=WORKLOAD_NAMES + EXTRA_WORKLOADS,
+                           help="seed workloads scoring each design "
+                                "point (default: hotspot backprop bfs "
+                                "square)")
+    explore_p.add_argument("--rungs", nargs="+", type=float, default=None,
+                           help="fidelity ladder: simulation scale per "
+                                "successive-halving rung (default "
+                                "1/64 1/32 1/16)")
+    explore_p.add_argument("--workers", type=int, default=2,
+                           help="distributed workers per rung (default 2)")
+    explore_p.add_argument("--cache-dir", default=None,
+                           help="shared result cache root (default: "
+                                "REPRO_CACHE_DIR or ~/.cache/"
+                                "repro-cpelide)")
+    explore_p.add_argument("--quick", action="store_true",
+                           help="two rungs over a smaller design space "
+                                "(CI smoke)")
+    explore_p.add_argument("--out", default=None,
+                           help="also write the full exploration "
+                                "history as JSON to this file")
 
     check_p = sub.add_parser(
         "check", help="differential oracle: cross-check trace paths x "
@@ -504,6 +754,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     handlers = {"list": cmd_list, "run": cmd_run, "trace": cmd_trace,
                 "occupancy": cmd_occupancy, "bench": cmd_bench,
+                "dist": cmd_dist, "explore": cmd_explore,
                 "check": cmd_check}
     return handlers[args.command](args)
 

@@ -46,7 +46,12 @@ from repro.obs import (
     Tracer,
     write_trace,
 )
-from repro.engine.cache import ResultCache, default_cache_dir
+from repro.engine.cache import (
+    ResultCache,
+    SharedResultCache,
+    default_cache_dir,
+)
+from repro.engine.dist import DistSweepRunner
 from repro.engine.runner import (
     ProgressFn,
     SweepReport,
@@ -72,20 +77,25 @@ from repro.workloads.suite import (
     build_workload,
 )
 
-#: Version of the documented :mod:`repro.api` surface. Bumped to ``3.0``
-#: with the :class:`TracePath` enum (replacing raw ``"line"``/``"run"``/
-#: ``"memo"`` strings, which still coerce) and the unified keyword-only
-#: cache bulk-op API (:class:`repro.memory.cache.BulkResult`). ``2.0``
-#: added the keyword-only ``simulate``/``sweep`` signatures, the
+#: Version of the documented :mod:`repro.api` surface. Bumped to ``3.1``
+#: with the distributed engine: ``sweep(workers=...)`` routes through
+#: :class:`~repro.engine.dist.DistSweepRunner` over a
+#: :class:`~repro.engine.cache.SharedResultCache` (cross-process result
+#: store with in-flight dedupe). ``3.0`` added the :class:`TracePath`
+#: enum (replacing raw ``"line"``/``"run"``/``"memo"`` strings, which
+#: still coerce) and the unified keyword-only cache bulk-op API
+#: (:class:`repro.memory.cache.BulkResult`). ``2.0`` added the
+#: keyword-only ``simulate``/``sweep`` signatures, the
 #: ``trace_path=``/``tracer=`` parameters, and the :mod:`repro.errors`
 #: hierarchy.
-__api_version__ = "3.0"
+__api_version__ = "3.1"
 
 __all__ = [
     "CacheError",
     "ConfigError",
     "DEFAULT_PROTOCOLS",
     "DEFAULT_SCALE",
+    "DistSweepRunner",
     "EXTRA_WORKLOADS",
     "EventTracer",
     "GPUConfig",
@@ -98,6 +108,7 @@ __all__ = [
     "OracleDivergence",
     "ReproError",
     "ResultCache",
+    "SharedResultCache",
     "SimulationResult",
     "Simulator",
     "SweepReport",
@@ -220,6 +231,7 @@ def sweep(spec: Optional[SweepSpec] = None,
           jobs: int = 1,
           cache: Union[bool, ResultCache] = True,
           cache_dir=None,
+          workers: Optional[int] = None,
           progress: Optional[ProgressFn] = None,
           trace_path: Optional[Union[TracePath, str]] = None,
           tracer: Optional[Tracer] = None) -> SweepResult:
@@ -230,6 +242,14 @@ def sweep(spec: Optional[SweepSpec] = None,
     sizes the worker pool (1 = serial, 0/None = one per CPU); ``cache``
     (default on) serves completed cells from the on-disk result cache.
     Results arrive in spec order regardless of completion order.
+
+    ``workers`` (api version 3.1) routes the sweep through the
+    *distributed* engine instead: cells execute as content-keyed work
+    units over a :class:`SharedResultCache` (``cache``/``cache_dir``
+    name its root), so any number of concurrent sweeps — in other
+    processes or on other hosts sharing the cache directory — serve each
+    other's completed *and in-flight* cells instead of recomputing.
+    Results stay bit-identical to ``jobs=1``.
 
     ``trace_path`` selects the trace representation for every cell;
     ``tracer`` attaches an observability sink. Serial sweeps (``jobs=1``)
@@ -251,6 +271,16 @@ def sweep(spec: Optional[SweepSpec] = None,
     elif trace_path is not None and spec.trace_path != trace_path:
         import dataclasses
         spec = dataclasses.replace(spec, trace_path=trace_path)
+    if workers is not None:
+        if isinstance(cache, SharedResultCache):
+            shared = cache
+        elif isinstance(cache, ResultCache):
+            shared = SharedResultCache(root=cache.root, salt=cache.salt)
+        else:
+            shared = SharedResultCache(root=cache_dir)
+        dist = DistSweepRunner(workers=workers, cache=shared,
+                               progress=progress, tracer=tracer)
+        return dist.run(spec)
     runner = SweepRunner(jobs=jobs, cache=cache, cache_dir=cache_dir,
                          progress=progress, tracer=tracer)
     return runner.run(spec)

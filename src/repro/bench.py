@@ -60,9 +60,61 @@ ITERATIVE_SWEEP: List[str] = [
 FULL_SCALE = 1 / 4
 QUICK_SCALE = 1 / 16
 
+#: Worker counts the distributed scaling bench sweeps.
+DIST_WORKER_COUNTS = (1, 2, 4, 8)
+
 
 class EquivalenceError(OracleDivergence):
     """The two trace paths produced different simulation results."""
+
+
+def bench_environment() -> Dict:
+    """Environment metadata stamped into every ``BENCH_*.json``.
+
+    Perf numbers are only comparable within one environment; the stamp
+    (python/numpy versions, CPU count, platform, and a short hostname
+    hash — the name itself stays private) lets trajectory tooling and
+    ``--check`` tell a regression from a machine change.
+    """
+    import hashlib
+    import os
+    import socket
+
+    try:
+        import numpy
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a test dependency
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "hostname_hash": hashlib.blake2b(
+            socket.gethostname().encode(), digest_size=4).hexdigest(),
+    }
+
+
+def compare_environments(report: Dict, reference: Dict) -> List[str]:
+    """Differences between two bench reports' environment stamps.
+
+    Returns human-readable mismatch descriptions (empty = comparable).
+    A reference predating the stamps compares as one mismatch, so old
+    trajectories warn instead of silently mixing machines.
+    """
+    env = report.get("meta", {}).get("environment")
+    ref = reference.get("meta", {}).get("environment")
+    if not env:
+        return []
+    if not ref:
+        return ["reference report carries no environment metadata "
+                "(predates the stamp)"]
+    diffs = []
+    for key in ("python", "numpy", "cpu_count", "platform",
+                "hostname_hash"):
+        if env.get(key) != ref.get(key):
+            diffs.append(f"{key}: {ref.get(key)!r} -> {env.get(key)!r}")
+    return diffs
 
 
 def _time_cell(config: GPUConfig, workload_name: str, protocol: str,
@@ -135,6 +187,7 @@ def run_bench(scale: float = FULL_SCALE, chiplets: int = 4,
             "workloads": workloads,
             "protocols": protocols,
             "python": platform.python_version(),
+            "environment": bench_environment(),
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         },
         "cells": cells,
@@ -254,6 +307,7 @@ def run_memo_bench(scale: float = FULL_SCALE, chiplets: int = 4,
             "workloads": workloads,
             "protocols": protocols,
             "python": platform.python_version(),
+            "environment": bench_environment(),
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         },
         "cells": cells,
@@ -359,6 +413,7 @@ def run_obs_bench(scale: float = FULL_SCALE, chiplets: int = 4,
             "workloads": workloads,
             "protocols": protocols,
             "python": platform.python_version(),
+            "environment": bench_environment(),
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         },
         "cells": cells,
@@ -464,4 +519,209 @@ def summarize(report: Dict) -> str:
         f"line {agg['line_seconds']:.2f}s, run {agg['run_seconds']:.2f}s "
         f"-> {agg['speedup']:.2f}x "
         f"({agg['run_lines_per_sec']:,.0f} lines/sec batched)")
+    return "\n".join(rows)
+
+
+def run_dist_bench(scale: float = QUICK_SCALE, chiplets: int = 4,
+                   worker_counts: Sequence[int] = DIST_WORKER_COUNTS,
+                   workloads: Optional[Sequence[str]] = None,
+                   progress: Optional[Callable[[str], None]] = None) -> Dict:
+    """Run the distributed scaling sweep and return the report dictionary.
+
+    The workload is the Pareto exploration *seed sweep* (see
+    :func:`repro.experiments.explore.seed_spec`): the candidate design
+    points at one chiplet count x the seed workloads x
+    {baseline, cpelide}. A serial uncached :class:`SweepRunner` run
+    establishes the reference wall time and the reference result dicts;
+    each worker count then executes the same sweep through
+    :class:`~repro.engine.dist.DistSweepRunner` against a *fresh* shared
+    cache (cold), re-asserting bit-identity against the reference every
+    time. A final warm pass over the largest count's cache must report
+    zero recomputes — the cross-process cache's whole point.
+
+    Reported ``speedup`` is serial wall over distributed wall;
+    ``efficiency`` normalizes it by the *usable* parallelism
+    ``min(workers, cpu_count)``. On a single-CPU host every count's
+    usable parallelism is 1, so efficiency stays meaningful (near 1.0
+    minus orchestration overhead) where raw speedup cannot exceed ~1x;
+    the environment stamp records the ``cpu_count`` that normalized it.
+    """
+    import os
+    import tempfile
+
+    from repro.engine import DistSweepRunner, SweepRunner
+    from repro.experiments import explore
+
+    workloads = (list(workloads) if workloads
+                 else list(explore.DEFAULT_SEED_WORKLOADS))
+    points = explore.design_points(chiplet_counts=(chiplets,),
+                                   table_windows=(4, 8), l2_mb=(4, 8))
+    spec = explore.seed_spec(points, scale, workloads)
+    cpu_count = os.cpu_count() or 1
+
+    t0 = time.perf_counter()
+    serial = SweepRunner(jobs=1, cache=False).run(spec)
+    serial_seconds = time.perf_counter() - t0
+    reference = serial.to_dicts()
+    if progress is not None:
+        progress(f"  serial reference: {len(reference)} cells, "
+                 f"{serial_seconds:.3f}s")
+
+    counts: List[Dict] = []
+    last_root: Optional[str] = None
+    with tempfile.TemporaryDirectory(prefix="repro-dist-bench-") as tmp:
+        for workers in worker_counts:
+            root = os.path.join(tmp, f"cache-w{workers}")
+            t0 = time.perf_counter()
+            result = DistSweepRunner(workers=workers, cache=root).run(spec)
+            wall = time.perf_counter() - t0
+            if result.to_dicts() != reference:
+                raise EquivalenceError(
+                    f"distributed sweep diverged from serial reference "
+                    f"({workers} workers, scale {scale:g})")
+            report = result.report
+            usable = min(workers, cpu_count)
+            speedup = serial_seconds / wall
+            counts.append({
+                "workers": workers,
+                "usable_workers": usable,
+                "cells": report.total_jobs,
+                "executed": report.executed,
+                "cache_hits": report.cache_hits,
+                "deduped": report.deduped,
+                "per_worker_cells": list(report.per_worker_cells),
+                "wall_seconds": round(wall, 6),
+                "speedup": round(speedup, 3),
+                "efficiency": round(speedup / usable, 3),
+                "identical": True,
+            })
+            last_root = root
+            if progress is not None:
+                progress(f"  {workers} workers ({usable} usable): "
+                         f"{wall:.3f}s ({speedup:.2f}x, "
+                         f"eff {speedup / usable:.2f}); "
+                         f"{report.summary().splitlines()[0]}")
+
+        t0 = time.perf_counter()
+        warm_result = DistSweepRunner(workers=worker_counts[-1],
+                                      cache=last_root).run(spec)
+        warm_wall = time.perf_counter() - t0
+        warm_report = warm_result.report
+        if warm_result.to_dicts() != reference:
+            raise EquivalenceError(
+                f"warm distributed pass diverged from serial reference "
+                f"(scale {scale:g})")
+        if warm_report.executed:
+            raise EquivalenceError(
+                f"warm distributed pass recomputed "
+                f"{warm_report.executed} cells; expected zero "
+                f"(all {warm_report.total_jobs} served from the shared "
+                f"cache)")
+        if progress is not None:
+            progress(f"  warm pass: {warm_wall:.3f}s, "
+                     f"{warm_report.cache_hits} hits, 0 recomputed")
+
+    best = min(counts, key=lambda c: c["wall_seconds"])
+    report = {
+        "benchmark": ("distributed sweep scaling: sharded workers over a "
+                      "shared result cache vs serial"),
+        "sweep": "explore-seed",
+        "meta": {
+            "scale": scale,
+            "chiplets": chiplets,
+            "jobs": 1,
+            "worker_counts": list(worker_counts),
+            "workloads": workloads,
+            "protocols": list(explore.EXPLORE_PROTOCOLS),
+            "design_points": [p.label for p in points],
+            "cells": len(reference),
+            "python": platform.python_version(),
+            "environment": bench_environment(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+        "counts": counts,
+        "warm": {
+            "workers": worker_counts[-1],
+            "wall_seconds": round(warm_wall, 6),
+            "cache_hits": warm_report.cache_hits,
+            "executed": warm_report.executed,
+            "identical": True,
+        },
+        "aggregate": {
+            "cells": len(reference),
+            "serial_seconds": round(serial_seconds, 6),
+            "best_wall_seconds": best["wall_seconds"],
+            "best_workers": best["workers"],
+            "max_speedup": max(c["speedup"] for c in counts),
+            "max_efficiency": max(c["efficiency"] for c in counts),
+            "warm_speedup": round(serial_seconds / warm_wall, 3),
+        },
+    }
+    return report
+
+
+def check_dist_scaling(report: Dict,
+                       min_efficiency: float = 0.5) -> Tuple[bool, str]:
+    """Gate a distributed scaling report.
+
+    Passes when every worker count's scaling efficiency (speedup per
+    *usable* worker — ``min(workers, cpu_count)``) meets
+    ``min_efficiency``, the warm pass recomputed nothing, and every pass
+    stayed bit-identical to the serial reference. Efficiency, not raw
+    speedup, is the gate so the check means the same thing on a 1-CPU
+    CI runner and a 64-core host; the raw numbers stay in the report.
+    """
+    problems = []
+    for cell in report["counts"]:
+        if not cell["identical"]:
+            problems.append(f"{cell['workers']} workers: not bit-identical")
+        if cell["efficiency"] < min_efficiency:
+            problems.append(
+                f"{cell['workers']} workers: efficiency "
+                f"{cell['efficiency']:.2f} < {min_efficiency:.2f} "
+                f"({cell['usable_workers']} usable, "
+                f"{cell['speedup']:.2f}x)")
+    warm = report["warm"]
+    if warm["executed"]:
+        problems.append(f"warm pass recomputed {warm['executed']} cells")
+    if not warm["identical"]:
+        problems.append("warm pass: not bit-identical")
+    if problems:
+        return False, "; ".join(problems)
+    agg = report["aggregate"]
+    return True, (f"scaling ok: max efficiency "
+                  f"{agg['max_efficiency']:.2f} "
+                  f"(>= {min_efficiency:.2f}) across "
+                  f"{report['meta']['worker_counts']} workers, "
+                  f"warm pass 0 recomputes "
+                  f"({agg['warm_speedup']:.1f}x vs serial)")
+
+
+def summarize_dist(report: Dict) -> str:
+    """Human-readable summary of a distributed scaling report."""
+    rows = []
+    for cell in report["counts"]:
+        per_worker = "/".join(str(n) for n in cell["per_worker_cells"])
+        rows.append(f"  {cell['workers']:>2d} workers "
+                    f"({cell['usable_workers']} usable): "
+                    f"{cell['wall_seconds']:7.3f}s  "
+                    f"{cell['speedup']:5.2f}x  "
+                    f"eff {cell['efficiency']:4.2f}  "
+                    f"({per_worker} cells)")
+    warm = report["warm"]
+    agg = report["aggregate"]
+    meta = report["meta"]
+    env = meta["environment"]
+    rows.append(f"  warm pass ({warm['workers']} workers): "
+                f"{warm['wall_seconds']:7.3f}s  "
+                f"{warm['cache_hits']} hits, {warm['executed']} recomputed")
+    rows.append(
+        f"aggregate (scale {meta['scale']:g}, {meta['chiplets']} chiplets, "
+        f"{agg['cells']} cells, {env['cpu_count']} CPUs): "
+        f"serial {agg['serial_seconds']:.2f}s, "
+        f"best {agg['best_wall_seconds']:.2f}s "
+        f"@ {agg['best_workers']} workers "
+        f"-> {agg['max_speedup']:.2f}x "
+        f"(efficiency {agg['max_efficiency']:.2f}), "
+        f"warm {agg['warm_speedup']:.1f}x")
     return "\n".join(rows)

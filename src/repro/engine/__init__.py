@@ -24,8 +24,17 @@ Typical use goes through the :mod:`repro.api` facade::
 from repro.engine.cache import (
     CacheStats,
     ResultCache,
+    SharedResultCache,
     code_version_salt,
     default_cache_dir,
+)
+from repro.engine.dist import (
+    DistSweepRunner,
+    WorkUnit,
+    gather,
+    scatter,
+    shard_jobs,
+    work,
 )
 from repro.engine.runner import (
     JobOutcome,
@@ -47,16 +56,23 @@ __all__ = [
     "CacheStats",
     "DEFAULT_PROTOCOLS",
     "DEFAULT_SCALE",
+    "DistSweepRunner",
     "JobOutcome",
     "JobSpec",
     "ResultCache",
+    "SharedResultCache",
     "SweepReport",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
+    "WorkUnit",
     "build_for_job",
     "code_version_salt",
     "default_cache_dir",
+    "gather",
     "resolve_jobs",
+    "scatter",
+    "shard_jobs",
+    "work",
     "workload_label",
 ]

@@ -3,7 +3,7 @@
 A sweep cell is fully determined by its :class:`~repro.engine.spec.JobSpec`
 (workload spec + protocol + every ``GPUConfig`` field + scheduler) and by
 the simulator's code version. The cache addresses each cell by a stable
-SHA-256 of the job's canonical JSON identity; the code version enters as a
+blake2b digest of the job's canonical JSON identity; the code version enters as a
 *salt* stored inside the entry, so a simulator-affecting edit invalidates
 stale entries on first touch (counted, and the file is replaced) while
 edits to the engine/experiment/CLI layers leave every entry valid —
@@ -27,7 +27,7 @@ import json
 import os
 import pathlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.spec import JobSpec
 from repro.errors import CacheError
@@ -97,24 +97,49 @@ def default_cache_dir() -> pathlib.Path:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/invalidation accounting for one cache instance."""
+    """Hit/miss/invalidation accounting for one cache instance.
+
+    The last three counters only move on a :class:`SharedResultCache`:
+    ``deduped`` counts results served from another worker's *in-flight*
+    computation (the claim/lease protocol), ``claims`` counts claims this
+    instance acquired, and ``reclaims`` counts expired leases it took
+    over from dead workers.
+    """
 
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
     stores: int = 0
+    deduped: int = 0
+    claims: int = 0
+    reclaims: int = 0
 
     def snapshot(self) -> "CacheStats":
         """Copy of the current counters."""
         return CacheStats(self.hits, self.misses, self.invalidations,
-                          self.stores)
+                          self.stores, self.deduped, self.claims,
+                          self.reclaims)
 
     def since(self, earlier: "CacheStats") -> "CacheStats":
         """Counter deltas relative to an earlier snapshot."""
         return CacheStats(self.hits - earlier.hits,
                           self.misses - earlier.misses,
                           self.invalidations - earlier.invalidations,
-                          self.stores - earlier.stores)
+                          self.stores - earlier.stores,
+                          self.deduped - earlier.deduped,
+                          self.claims - earlier.claims,
+                          self.reclaims - earlier.reclaims)
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another instance's counters into this one (the parent
+        aggregates per-worker cache stats after a distributed sweep)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.invalidations += other.invalidations
+        self.stores += other.stores
+        self.deduped += other.deduped
+        self.claims += other.claims
+        self.reclaims += other.reclaims
 
 
 class ResultCache:
@@ -129,10 +154,12 @@ class ResultCache:
     # ------------------------------------------------------------------
 
     def key(self, job: JobSpec) -> str:
-        """Stable content hash identifying one job."""
+        """Stable content hash identifying one job (blake2b, matching
+        the memo store's digests)."""
         canonical = json.dumps(job.key_payload(), sort_keys=True,
                                separators=(",", ":"))
-        return hashlib.sha256(canonical.encode()).hexdigest()
+        return hashlib.blake2b(canonical.encode(),
+                               digest_size=32).hexdigest()
 
     def _path(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
@@ -194,3 +221,202 @@ class ResultCache:
         if not self.root.exists():
             return 0
         return sum(1 for _ in self.root.rglob("*.json"))
+
+
+# ---------------------------------------------------------------------------
+# Cross-process shared cache with in-flight dedupe (claim/lease protocol)
+# ---------------------------------------------------------------------------
+
+#: Default lease duration for an in-flight claim. Long enough for any
+#: single sweep cell at bench scale; short enough that a dead worker's
+#: claim is reclaimed within one polling generation.
+DEFAULT_LEASE_SECONDS = 300.0
+
+#: Default polling interval while waiting on another worker's claim.
+DEFAULT_POLL_SECONDS = 0.05
+
+#: ``try_claim`` outcomes.
+CLAIM_HIT = "hit"          # result already stored; payload returned
+CLAIM_ACQUIRED = "claimed"  # caller owns the cell and must compute it
+CLAIM_INFLIGHT = "inflight"  # another live worker is computing it
+
+
+class SharedResultCache(ResultCache):
+    """A :class:`ResultCache` safe for concurrent multi-process use,
+    with *in-flight dedupe*.
+
+    Storage stays plain content-addressed JSON files (atomic rename), so
+    any number of readers/writers on one filesystem — including workers
+    on different hosts sharing a network mount — can use one root
+    concurrently. What this subclass adds is the **claim/lease
+    protocol**: before computing a missing cell a worker *claims* it by
+    exclusively creating ``<key>.claim`` beside the entry. A second
+    worker that wants the same cell sees the live claim, *waits* instead
+    of recomputing, and is served the first worker's result the moment
+    it lands (counted as ``deduped`` — "served from in-flight"). Claims
+    carry a deadline; a claim whose lease expired (its worker died or
+    hung) is *reclaimed* by the next requester, so no cell can be
+    orphaned. Claim files are never ``.json``, so they are invisible to
+    ``clear()``/``__len__``.
+    """
+
+    def __init__(self, root: "os.PathLike[str] | str | None" = None,
+                 salt: Optional[str] = None,
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                 poll_seconds: float = DEFAULT_POLL_SECONDS) -> None:
+        super().__init__(root=root, salt=salt)
+        self.lease_seconds = lease_seconds
+        self.poll_seconds = poll_seconds
+
+    # ------------------------------------------------------------------
+
+    def _claim_path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.claim"
+
+    def _claim_token(self) -> str:
+        import secrets
+        import socket
+        return f"{socket.gethostname()}-{os.getpid()}-{secrets.token_hex(8)}"
+
+    def _read_claim(self, path: pathlib.Path) -> Optional[Dict[str, Any]]:
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _peek(self, job: JobSpec) -> Optional[Dict[str, Any]]:
+        """Like :meth:`load` but without touching the hit/miss counters
+        (the claim/wait paths do their own accounting)."""
+        path = self._path(self.key(job))
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if document.get("salt") != self.salt:
+            return None
+        return document["result"]
+
+    def _write_claim(self, path: pathlib.Path, token: str) -> bool:
+        """Atomically create the claim file; False if it already exists."""
+        import time
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = json.dumps({
+            "token": token,
+            "pid": os.getpid(),
+            "deadline": time.time() + self.lease_seconds,
+        })
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w") as fh:
+            fh.write(body)
+        return True
+
+    # ------------------------------------------------------------------
+
+    def try_claim(self, job: JobSpec) -> "Tuple[str, Any]":
+        """One attempt to acquire ``job``'s cell.
+
+        Returns one of:
+
+        * ``(CLAIM_HIT, payload)`` — the result is already stored;
+        * ``(CLAIM_ACQUIRED, token)`` — the caller now owns the cell and
+          must compute it, then :meth:`store_and_release` (or
+          :meth:`abandon` on failure);
+        * ``(CLAIM_INFLIGHT, claim_dict)`` — another live worker holds
+          the claim; :meth:`wait_for` the result.
+        """
+        import time
+        payload = self.load(job)  # counts hit or miss
+        if payload is not None:
+            return CLAIM_HIT, payload
+        claim_path = self._claim_path(self.key(job))
+        token = self._claim_token()
+        for attempt in (0, 1):
+            if self._write_claim(claim_path, token):
+                self.stats.claims += 1
+                return CLAIM_ACQUIRED, token
+            claim = self._read_claim(claim_path)
+            if claim is None:
+                # Claim vanished between exists-check and read (the
+                # holder just released it): retry the exclusive create.
+                continue
+            if claim.get("deadline", 0.0) <= time.time():
+                # Expired lease: the holder died or hung. Reclaim by
+                # deleting the stale claim and retrying the exclusive
+                # create — concurrent reclaimers race on the create, and
+                # exactly one wins.
+                claim_path.unlink(missing_ok=True)
+                self.stats.reclaims += 1
+                continue
+            return CLAIM_INFLIGHT, claim
+        return CLAIM_INFLIGHT, {"token": None, "deadline": 0.0}
+
+    def acquire(self, job: JobSpec) -> "Tuple[str, Any]":
+        """Blocking front half of the dedupe protocol.
+
+        Loops :meth:`try_claim`/:meth:`wait_for` until the caller either
+        holds the result (``(CLAIM_HIT, payload)`` — a plain hit, or a
+        result served from another worker's in-flight computation) or
+        owns the claim (``(CLAIM_ACQUIRED, token)``).
+        """
+        while True:
+            status, value = self.try_claim(job)
+            if status != CLAIM_INFLIGHT:
+                return status, value
+            payload = self.wait_for(job)
+            if payload is not None:
+                return CLAIM_HIT, payload
+            # The in-flight worker died without storing: loop and claim.
+
+    def wait_for(self, job: JobSpec,
+                 timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Wait for another worker's in-flight computation of ``job``.
+
+        Polls until the result lands (returned, counted as ``deduped``),
+        the claim disappears or expires without a result (``None`` — the
+        caller should claim the cell itself), or ``timeout`` elapses.
+        """
+        import time
+        claim_path = self._claim_path(self.key(job))
+        deadline = None if timeout is None else time.time() + timeout
+        while True:
+            payload = self._peek(job)
+            if payload is not None:
+                self.stats.deduped += 1
+                return payload
+            claim = self._read_claim(claim_path)
+            if claim is None or claim.get("deadline", 0.0) <= time.time():
+                return None
+            if deadline is not None and time.time() >= deadline:
+                return None
+            time.sleep(self.poll_seconds)
+
+    def store_and_release(self, job: JobSpec, result: Dict[str, Any],
+                          token: str) -> None:
+        """Publish a computed result, then drop the caller's claim.
+
+        Order matters: the result must be visible *before* the claim
+        disappears, so a waiter never observes "no claim, no result" for
+        a cell that was computed successfully.
+        """
+        self.store(job, result)
+        self._release(job, token)
+
+    def abandon(self, job: JobSpec, token: str) -> None:
+        """Drop a claim without storing (the computation failed); a
+        waiter or the next requester takes the cell over."""
+        self._release(job, token)
+
+    def _release(self, job: JobSpec, token: str) -> None:
+        claim_path = self._claim_path(self.key(job))
+        claim = self._read_claim(claim_path)
+        if claim is not None and claim.get("token") == token:
+            claim_path.unlink(missing_ok=True)
+
+    def claimed_keys(self) -> "List[str]":
+        """Keys with a live claim file (diagnostics)."""
+        if not self.root.exists():
+            return []
+        return sorted(path.stem for path in self.root.rglob("*.claim"))

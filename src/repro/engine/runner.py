@@ -43,8 +43,9 @@ MemoCounters = Optional[Tuple[int, int, int]]
 
 def _execute_job(job: JobSpec, tracer: Optional[Tracer] = None,
                  ) -> Tuple[Dict[str, Any], MemoCounters,
-                            Optional[Dict[str, Any]], float]:
-    """Run one job; return ``(payload, memo counters, obs, seconds)``.
+                            Optional[Dict[str, Any]], float, int]:
+    """Run one job; return ``(payload, memo counters, obs, seconds,
+    worker pid)``.
 
     Module-level so the process pool can pickle it; imports are local so
     forked workers pay them only when first used. ``tracer`` is only
@@ -74,7 +75,8 @@ def _execute_job(job: JobSpec, tracer: Optional[Tracer] = None,
             memo = (result.memo_hits, result.memo_misses,
                     result.memo_bypasses)
         obs = result.obs
-    return result.to_dict(), memo, obs, time.perf_counter() - start
+    return (result.to_dict(), memo, obs, time.perf_counter() - start,
+            os.getpid())
 
 
 def _reconstruct(job: JobSpec, payload: Dict[str, Any]) -> JobResult:
@@ -85,6 +87,28 @@ def _reconstruct(job: JobSpec, payload: Dict[str, Any]) -> JobResult:
     from repro.gpu.sim import Simulator  # noqa: F401  (import cycle guard)
     from repro.gpu.sim import SimulationResult
     return SimulationResult.from_dict(payload)
+
+
+def prewarm_pending_traces(jobs: List[JobSpec],
+                           pending: List[int]) -> None:
+    """Generate the pending simulation jobs' RANDOM/INDIRECT run-traces
+    in the parent (deduplicated per workload/config) so ``fork``-started
+    workers inherit the interned traces copy-on-write instead of each
+    re-sampling them from scratch."""
+    from repro.engine.spec import build_for_job
+    from repro.workloads.base import prewarm_workload_traces
+
+    seen = set()
+    for index in pending:
+        job = jobs[index]
+        if job.kind == "occupancy":
+            continue
+        key = (workload_label(job.workload), repr(job.config))
+        if key in seen:
+            continue
+        seen.add(key)
+        workload = build_for_job(job.workload, job.config)
+        prewarm_workload_traces(workload, job.config.num_chiplets)
 
 
 def _fork_available() -> bool:
@@ -113,7 +137,16 @@ class JobOutcome:
 
 @dataclass
 class SweepReport:
-    """Execution summary of one sweep."""
+    """Execution summary of one sweep.
+
+    ``workers`` is the *effective* worker count — the processes that
+    actually executed cells, not the requested pool size (a sweep with
+    two pending cells never uses more than two workers).
+    ``per_worker_cells`` lists how many cells each of those workers
+    executed (descending); ``deduped`` counts cells served from another
+    worker's in-flight computation via the shared cache's claim/lease
+    protocol (distributed sweeps only).
+    """
 
     total_jobs: int = 0
     executed: int = 0
@@ -124,11 +157,17 @@ class SweepReport:
     parallel: bool = False
     slowest_label: str = ""
     slowest_seconds: float = 0.0
+    deduped: int = 0
+    per_worker_cells: List[int] = field(default_factory=list)
 
     def summary(self) -> str:
         """One-line report the CLIs print after a sweep."""
         mode = (f"{self.workers} workers" if self.parallel else "serial")
+        if self.parallel and self.per_worker_cells:
+            cells = "/".join(str(n) for n in self.per_worker_cells)
+            mode += f", {cells} cells"
         line = (f"{self.total_jobs} jobs: {self.cache_hits} cache hits, "
+                f"{self.deduped} served from in-flight, "
                 f"{self.executed} run ({mode}), "
                 f"{self.cache_invalidations} invalidated; "
                 f"wall {self.wall_seconds:.2f}s")
@@ -218,6 +257,7 @@ class SweepRunner:
             tracer.sweep_begin(label=f"{spec.kind}:{len(jobs)} cells",
                                cells=len(jobs))
         outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+        self._worker_cells: Dict[int, int] = {}
         cache_before = (self.cache.stats.snapshot()
                         if self.cache is not None else None)
 
@@ -290,30 +330,13 @@ class SweepRunner:
         for done, index in enumerate(pending, start=1):
             if tracer is not None:
                 tracer.sweep_cell(phase="begin", label=jobs[index].label)
-            payload, memo, obs, seconds = _execute_job(jobs[index], tracer)
+            payload, memo, obs, seconds, _ = _execute_job(jobs[index], tracer)
             outcomes[index] = self._finish(jobs[index], payload, memo, obs,
                                            seconds, done, len(pending))
 
     def _prewarm_traces(self, jobs: List[JobSpec],
                         pending: List[int]) -> None:
-        """Generate the pending simulation jobs' RANDOM/INDIRECT
-        run-traces in the parent (deduplicated per workload/config) so
-        ``fork``-started workers inherit the interned traces
-        copy-on-write instead of each re-sampling them from scratch."""
-        from repro.engine.spec import build_for_job
-        from repro.workloads.base import prewarm_workload_traces
-
-        seen = set()
-        for index in pending:
-            job = jobs[index]
-            if job.kind == "occupancy":
-                continue
-            key = (workload_label(job.workload), repr(job.config))
-            if key in seen:
-                continue
-            seen.add(key)
-            workload = build_for_job(job.workload, job.config)
-            prewarm_workload_traces(workload, job.config.num_chiplets)
+        prewarm_pending_traces(jobs, pending)
 
     def _run_parallel(self, jobs: List[JobSpec], pending: List[int],
                       outcomes: List[Optional[JobOutcome]]) -> None:
@@ -328,7 +351,8 @@ class SweepRunner:
                        for index in pending}
             for done, future in enumerate(as_completed(futures), start=1):
                 index = futures[future]
-                payload, memo, obs, seconds = future.result()
+                payload, memo, obs, seconds, pid = future.result()
+                self._worker_cells[pid] = self._worker_cells.get(pid, 0) + 1
                 outcomes[index] = self._finish(jobs[index], payload, memo,
                                                obs, seconds, done,
                                                len(pending))
@@ -342,14 +366,16 @@ class SweepRunner:
         invalidations = 0
         if self.cache is not None and cache_before is not None:
             invalidations = self.cache.stats.since(cache_before).invalidations
+        per_worker = sorted(self._worker_cells.values(), reverse=True)
         return SweepReport(
             total_jobs=len(outcomes),
             executed=len(executed),
             cache_hits=len(outcomes) - len(executed),
             cache_invalidations=invalidations,
             wall_seconds=wall_seconds,
-            workers=self.jobs if parallel else 1,
+            workers=(len(per_worker) or self.jobs) if parallel else 1,
             parallel=parallel,
             slowest_label=slowest.job.label if slowest else "",
             slowest_seconds=slowest.seconds if slowest else 0.0,
+            per_worker_cells=per_worker,
         )

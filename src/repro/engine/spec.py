@@ -109,6 +109,28 @@ class JobSpec:
             "config": dataclasses.asdict(self.config),
         }
 
+    def to_payload(self) -> Dict[str, Any]:
+        """Full JSON round-trip payload (identity plus execution-only
+        fields like ``trace_path``) — what the distributed engine
+        scatters into a work directory for other hosts to pick up."""
+        payload = self.key_payload()
+        payload["trace_path"] = self.trace_path
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "JobSpec":
+        """Inverse of :meth:`to_payload` (lists re-tuple into workload
+        specs; the config dict rebuilds a :class:`GPUConfig`)."""
+        workload = payload["workload"]
+        if isinstance(workload, list):
+            workload = tuple(workload)
+        return cls(workload=workload,
+                   protocol=payload["protocol"],
+                   config=GPUConfig(**payload["config"]),
+                   scheduler=payload["scheduler"],
+                   kind=payload["kind"],
+                   trace_path=payload.get("trace_path"))
+
 
 @dataclass(frozen=True)
 class SweepSpec:
@@ -152,6 +174,31 @@ class SweepSpec:
     def num_jobs(self) -> int:
         """Cells in the product."""
         return len(self.workloads) * len(self.protocols) * len(self.configs)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON round-trip payload (the distributed engine's
+        ``spec.json`` manifest in a scattered work directory)."""
+        return {
+            "workloads": [w if isinstance(w, str) else list(w)
+                          for w in self.workloads],
+            "protocols": list(self.protocols),
+            "configs": [dataclasses.asdict(c) for c in self.configs],
+            "scheduler": self.scheduler,
+            "kind": self.kind,
+            "trace_path": self.trace_path,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SweepSpec":
+        """Inverse of :meth:`to_payload`."""
+        workloads = tuple(w if isinstance(w, str) else tuple(w)
+                          for w in payload["workloads"])
+        return cls(workloads=workloads,
+                   protocols=tuple(payload["protocols"]),
+                   configs=tuple(GPUConfig(**c) for c in payload["configs"]),
+                   scheduler=payload["scheduler"],
+                   kind=payload["kind"],
+                   trace_path=payload.get("trace_path"))
 
     def expand(self) -> List[JobSpec]:
         """Flatten into jobs in canonical order: configs (outer) ->

@@ -141,6 +141,16 @@ class Tracer:
                    seconds: float = 0.0) -> None:
         """A sweep cell changed state (``begin``/``end``)."""
 
+    def shard_event(self, *, phase: str, shard: int, worker: str = "",
+                    cells: int = 0, executed: int = 0, hits: int = 0,
+                    deduped: int = 0, seconds: float = 0.0) -> None:
+        """Distributed engine: one work unit changed state.
+
+        ``phase`` is ``scatter`` (the unit was created), ``begin``, or
+        ``end`` (with the executing worker's id and its per-unit
+        counters: cells executed, served from the shared cache, and
+        served from another worker's in-flight computation)."""
+
 
 class NullTracer(Tracer):
     """The zero-overhead default tracer (all hooks inherited no-ops)."""
@@ -342,6 +352,20 @@ class EventTracer(Tracer):
                 self.metrics.observe("sweep.cell_seconds", seconds)
         self._emit("sweep", f"cell-{phase}", 0.0, {
             "label": label, "cached": cached, "seconds": seconds})
+
+    def shard_event(self, *, phase: str, shard: int, worker: str = "",
+                    cells: int = 0, executed: int = 0, hits: int = 0,
+                    deduped: int = 0, seconds: float = 0.0) -> None:
+        if phase == "end":
+            self.metrics.count("dist.shards")
+            self.metrics.count("dist.cells_executed", executed)
+            self.metrics.count("dist.cells_hit", hits)
+            self.metrics.count("dist.cells_deduped", deduped)
+            self.metrics.observe("dist.shard_seconds", seconds)
+        self._emit("shard", phase, 0.0, {
+            "shard": shard, "worker": worker, "cells": cells,
+            "executed": executed, "hits": hits, "deduped": deduped,
+            "seconds": seconds})
 
     # ---- introspection ---------------------------------------------------
 

@@ -72,6 +72,103 @@ class TestReproCLI:
         assert "2 chiplets" in capsys.readouterr().out
 
 
+class TestDistCLI:
+    def test_run_then_expect_cached(self, capsys, tmp_path):
+        base = ["--scale", "0.015625", "dist", "--workloads", "square",
+                "--protocols", "cpelide", "--workers", "2",
+                "--cache-dir", str(tmp_path / "c")]
+        assert repro_main(base) == 0
+        assert repro_main(base + ["--expect-cached"]) == 0
+        out = capsys.readouterr().out
+        assert "served from in-flight" in out
+
+    def test_expect_cached_fails_cold(self, tmp_path):
+        rc = repro_main(["--scale", "0.015625", "dist", "--workloads",
+                         "square", "--protocols", "cpelide",
+                         "--cache-dir", str(tmp_path / "c"),
+                         "--expect-cached"])
+        assert rc == 1
+
+    def test_scatter_work_gather(self, capsys, tmp_path):
+        work_dir = str(tmp_path / "wd")
+        common = ["--scale", "0.015625"]
+        assert repro_main(common + ["dist", "--mode", "scatter",
+                                    "--work-dir", work_dir,
+                                    "--workloads", "square",
+                                    "--protocols", "cpelide"]) == 0
+        assert repro_main(common + ["dist", "--mode", "work",
+                                    "--work-dir", work_dir]) == 0
+        assert repro_main(common + ["dist", "--mode", "gather",
+                                    "--work-dir", work_dir]) == 0
+        out = capsys.readouterr().out
+        assert "scattered" in out
+        assert "executed" in out
+
+    def test_modes_require_work_dir(self):
+        assert repro_main(["dist", "--mode", "work"]) == 2
+
+
+class TestExploreCLI:
+    def test_quick_tiny_grid(self, capsys, tmp_path):
+        rc = repro_main(["explore", "--chiplet-counts", "2", "4",
+                         "--table-windows", "4", "--l2-mb", "4",
+                         "--workloads", "square",
+                         "--rungs", "0.015625", "--workers", "1",
+                         "--cache-dir", str(tmp_path / "c"),
+                         "--out", str(tmp_path / "explore.json")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Pareto exploration" in out
+        assert (tmp_path / "explore.json").exists()
+
+
+class TestBenchEnvironment:
+    def test_environment_stamp_fields(self):
+        from repro.bench import bench_environment
+
+        env = bench_environment()
+        assert set(env) == {"python", "numpy", "cpu_count", "platform",
+                            "hostname_hash"}
+        assert env["cpu_count"] >= 1
+        assert len(env["hostname_hash"]) == 8
+
+    def test_compare_environments_flags_mismatches(self):
+        from repro.bench import bench_environment, compare_environments
+
+        env = bench_environment()
+        report = {"meta": {"environment": env}}
+        same = {"meta": {"environment": dict(env)}}
+        assert compare_environments(report, same) == []
+        other = dict(env, cpu_count=env["cpu_count"] + 63)
+        diffs = compare_environments(report,
+                                     {"meta": {"environment": other}})
+        assert len(diffs) == 1
+        assert "cpu_count" in diffs[0]
+        legacy = compare_environments(report, {"meta": {}})
+        assert "predates the stamp" in legacy[0]
+
+    def test_check_dist_scaling_gates(self):
+        from repro.bench import check_dist_scaling
+
+        cell = {"workers": 2, "usable_workers": 1, "efficiency": 0.9,
+                "speedup": 0.9, "identical": True}
+        report = {
+            "counts": [cell],
+            "warm": {"executed": 0, "identical": True},
+            "aggregate": {"max_efficiency": 0.9, "warm_speedup": 10.0},
+            "meta": {"worker_counts": [2]},
+        }
+        ok, message = check_dist_scaling(report, min_efficiency=0.5)
+        assert ok and "scaling ok" in message
+        bad = dict(report, counts=[dict(cell, efficiency=0.1)])
+        ok, message = check_dist_scaling(bad, min_efficiency=0.5)
+        assert not ok and "efficiency" in message
+        recomputed = dict(report,
+                          warm={"executed": 3, "identical": True})
+        ok, message = check_dist_scaling(recomputed)
+        assert not ok and "recomputed" in message
+
+
 class TestExperimentsCLI:
     def test_table1(self, capsys):
         assert experiments_main(["table1"]) == 0

@@ -1,0 +1,345 @@
+"""Distributed sweep engine: shared cache claims, sharding, runners.
+
+Covers the cross-process dedupe protocol (claim/lease/reclaim), the
+deterministic sharder, :class:`DistSweepRunner` bit-identity against the
+serial engine, and the scatter/work/gather multi-host flow.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.engine.cache import (
+    CLAIM_ACQUIRED,
+    CLAIM_HIT,
+    CLAIM_INFLIGHT,
+    SharedResultCache,
+)
+from repro.engine.dist import (
+    DistSweepRunner,
+    gather,
+    scatter,
+    shard_jobs,
+    unit_key,
+    work,
+)
+from repro.engine.runner import SweepRunner
+from repro.engine.spec import JobSpec, SweepSpec
+from repro.errors import CacheError
+from repro.gpu.config import GPUConfig
+
+from tests.conftest import TEST_SCALE
+
+WORKLOADS = ("square", "bfs")
+PROTOCOLS = ("baseline", "cpelide")
+
+
+def small_spec(workloads=WORKLOADS, protocols=PROTOCOLS,
+               chiplet_counts=(4,)):
+    return SweepSpec.grid(workloads=workloads, protocols=protocols,
+                          chiplet_counts=chiplet_counts, scale=TEST_SCALE)
+
+
+def one_job(workload="square", protocol="cpelide"):
+    return JobSpec(workload=workload, protocol=protocol,
+                   config=GPUConfig(num_chiplets=4, scale=TEST_SCALE))
+
+
+class TestClaimProtocol:
+    def test_miss_acquires_then_other_sees_inflight(self, tmp_path):
+        cache = SharedResultCache(root=tmp_path / "c")
+        job = one_job()
+        status, token = cache.try_claim(job)
+        assert status == CLAIM_ACQUIRED
+        assert cache.stats.claims == 1
+        other = SharedResultCache(root=tmp_path / "c")
+        status2, claim = other.try_claim(job)
+        assert status2 == CLAIM_INFLIGHT
+        assert claim["pid"] == os.getpid()
+        cache.store_and_release(job, {"x": 1}, token)
+        status3, payload = other.try_claim(job)
+        assert status3 == CLAIM_HIT
+        assert payload == {"x": 1}
+
+    def test_abandon_lets_next_caller_claim(self, tmp_path):
+        cache = SharedResultCache(root=tmp_path / "c")
+        job = one_job()
+        status, token = cache.try_claim(job)
+        assert status == CLAIM_ACQUIRED
+        cache.abandon(job, token)
+        status2, _ = cache.try_claim(job)
+        assert status2 == CLAIM_ACQUIRED
+        assert cache.load(job) is None
+
+    def test_expired_lease_is_reclaimed(self, tmp_path):
+        dead = SharedResultCache(root=tmp_path / "c", lease_seconds=0.01)
+        job = one_job()
+        status, _ = dead.try_claim(job)  # never released: "crashed"
+        assert status == CLAIM_ACQUIRED
+        time.sleep(0.05)
+        survivor = SharedResultCache(root=tmp_path / "c")
+        status2, _ = survivor.try_claim(job)
+        assert status2 == CLAIM_ACQUIRED
+        assert survivor.stats.reclaims == 1
+
+    def test_wait_for_serves_inflight_result(self, tmp_path):
+        cache = SharedResultCache(root=tmp_path / "c", poll_seconds=0.01)
+        waiter = SharedResultCache(root=tmp_path / "c", poll_seconds=0.01)
+        job = one_job()
+        status, token = cache.try_claim(job)
+        assert status == CLAIM_ACQUIRED
+
+        def publish():
+            time.sleep(0.05)
+            cache.store_and_release(job, {"served": True}, token)
+
+        thread = threading.Thread(target=publish)
+        thread.start()
+        try:
+            payload = waiter.wait_for(job, timeout=5.0)
+        finally:
+            thread.join()
+        assert payload == {"served": True}
+        assert waiter.stats.deduped == 1
+
+    def test_wait_for_returns_none_when_holder_abandons(self, tmp_path):
+        cache = SharedResultCache(root=tmp_path / "c", poll_seconds=0.01)
+        job = one_job()
+        _, token = cache.try_claim(job)
+        cache.abandon(job, token)
+        assert cache.wait_for(job, timeout=0.2) is None
+
+    def test_release_requires_matching_token(self, tmp_path):
+        cache = SharedResultCache(root=tmp_path / "c")
+        job = one_job()
+        _, token = cache.try_claim(job)
+        cache.abandon(job, "not-the-token")
+        # Wrong token must not drop the live claim.
+        other = SharedResultCache(root=tmp_path / "c")
+        status, _ = other.try_claim(job)
+        assert status == CLAIM_INFLIGHT
+        cache.abandon(job, token)
+
+    def test_claim_files_invisible_to_len_and_clear(self, tmp_path):
+        cache = SharedResultCache(root=tmp_path / "c")
+        job = one_job()
+        cache.try_claim(job)
+        assert len(cache) == 0
+        assert cache.clear() == 0
+        assert cache.claimed_keys() == [cache.key(job)]
+
+    def test_acquire_blocks_until_hit_or_ownership(self, tmp_path):
+        cache = SharedResultCache(root=tmp_path / "c", poll_seconds=0.01)
+        job = one_job()
+        status, token = cache.acquire(job)
+        assert status == CLAIM_ACQUIRED
+        cache.store_and_release(job, {"x": 2}, token)
+        status2, payload = cache.acquire(job)
+        assert status2 == CLAIM_HIT
+        assert payload == {"x": 2}
+
+
+def _race_worker(root, barrier, counter_path, out_path):
+    """One contender: acquire the cell, compute (counted) or be served."""
+    from repro.engine.cache import (
+        CLAIM_ACQUIRED,
+        SharedResultCache,
+    )
+
+    cache = SharedResultCache(root=root, poll_seconds=0.01)
+    job = one_job()
+    barrier.wait()
+    status, value = cache.acquire(job)
+    if status == CLAIM_ACQUIRED:
+        # Count this compute via an O_APPEND side file (atomic on
+        # linux for small writes), then publish after a delay so the
+        # loser demonstrably waits on the in-flight claim.
+        fd = os.open(counter_path, os.O_CREAT | os.O_APPEND | os.O_WRONLY)
+        os.write(fd, b"computed\n")
+        os.close(fd)
+        time.sleep(0.2)
+        payload = {"winner": True, "value": 42}
+        cache.store_and_release(job, payload, value)
+    else:
+        payload = value
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+
+
+class TestCrossProcessRace:
+    def test_two_processes_one_compute_identical_results(self, tmp_path):
+        """Satellite S4: two processes racing the same key — exactly one
+        computes, both end up with identical payloads."""
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        counter = tmp_path / "computes.log"
+        outs = [tmp_path / "a.json", tmp_path / "b.json"]
+        procs = [ctx.Process(target=_race_worker,
+                             args=(str(tmp_path / "c"), barrier,
+                                   str(counter), str(out)))
+                 for out in outs]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=30)
+        assert all(proc.exitcode == 0 for proc in procs)
+        assert counter.read_text().count("computed") == 1
+        payloads = [json.loads(out.read_text()) for out in outs]
+        assert payloads[0]["value"] == payloads[1]["value"] == 42
+
+
+class TestShardJobs:
+    def test_units_cover_pending_exactly_once(self, tmp_path):
+        cache = SharedResultCache(root=tmp_path / "c")
+        jobs = small_spec().expand()
+        pending = list(range(len(jobs)))
+        units = shard_jobs(jobs, pending, workers=2, cache=cache)
+        covered = [index for unit in units for index, _ in unit.items]
+        assert covered == pending
+
+    def test_unit_keys_are_content_addressed_and_deterministic(
+            self, tmp_path):
+        cache = SharedResultCache(root=tmp_path / "c")
+        jobs = small_spec().expand()
+        key_a = unit_key(jobs[:2], cache)
+        key_b = unit_key(jobs[:2], cache)
+        assert key_a == key_b
+        assert key_a != unit_key(jobs[2:4], cache)
+        units = shard_jobs(jobs, list(range(len(jobs))), 2, cache)
+        again = shard_jobs(jobs, list(range(len(jobs))), 2, cache)
+        assert [u.key for u in units] == [u.key for u in again]
+
+    def test_batch_size_override(self, tmp_path):
+        cache = SharedResultCache(root=tmp_path / "c")
+        jobs = small_spec().expand()
+        units = shard_jobs(jobs, list(range(len(jobs))), 2, cache,
+                           batch_size=1)
+        assert len(units) == len(jobs)
+        assert all(unit.cells == 1 for unit in units)
+
+    def test_only_pending_jobs_shard(self, tmp_path):
+        cache = SharedResultCache(root=tmp_path / "c")
+        jobs = small_spec().expand()
+        units = shard_jobs(jobs, [1, 3], 2, cache)
+        covered = [index for unit in units for index, _ in unit.items]
+        assert covered == [1, 3]
+
+
+class TestDistRunner:
+    def test_bit_identical_to_serial(self, tmp_path):
+        spec = small_spec()
+        serial = SweepRunner(jobs=1, cache=False).run(spec)
+        dist = DistSweepRunner(workers=2, cache=tmp_path / "c").run(spec)
+        assert dist.to_dicts() == serial.to_dicts()
+
+    def test_second_pass_zero_recomputes(self, tmp_path):
+        spec = small_spec()
+        runner = DistSweepRunner(workers=2, cache=tmp_path / "c")
+        first = runner.run(spec)
+        assert first.report.executed == first.report.total_jobs
+        warm = DistSweepRunner(workers=2, cache=tmp_path / "c").run(spec)
+        assert warm.report.executed == 0
+        assert warm.report.cache_hits == warm.report.total_jobs
+        assert warm.to_dicts() == first.to_dicts()
+
+    def test_summary_reports_dedupe_and_worker_cells(self, tmp_path):
+        spec = small_spec()
+        result = DistSweepRunner(workers=2, cache=tmp_path / "c").run(spec)
+        summary = result.report.summary()
+        assert "served from in-flight" in summary
+        if result.report.parallel:
+            assert "/".join(
+                str(n) for n in result.report.per_worker_cells) in summary
+        assert sum(result.report.per_worker_cells) == \
+            result.report.executed
+
+    def test_single_worker_runs_in_process(self, tmp_path):
+        spec = small_spec(workloads=("square",))
+        result = DistSweepRunner(workers=1, cache=tmp_path / "c").run(spec)
+        assert result.report.executed == result.report.total_jobs
+        serial = SweepRunner(jobs=1, cache=False).run(spec)
+        assert result.to_dicts() == serial.to_dicts()
+
+    def test_results_marked_from_cache_on_warm_pass(self, tmp_path):
+        spec = small_spec(workloads=("square",))
+        DistSweepRunner(workers=1, cache=tmp_path / "c").run(spec)
+        warm = DistSweepRunner(workers=1, cache=tmp_path / "c").run(spec)
+        assert all(outcome.result.from_cache
+                   for outcome in warm.outcomes)
+
+
+class TestScatterWorkGather:
+    def test_round_trip_matches_serial(self, tmp_path):
+        spec = small_spec()
+        work_dir = tmp_path / "wd"
+        units = scatter(spec, work_dir, workers=2)
+        assert (work_dir / "spec.json").exists()
+        assert len(list((work_dir / "units").glob("unit-*.json"))) == \
+            len(units)
+        executed = work(work_dir)
+        assert executed == len(units)
+        gathered = gather(work_dir)
+        serial = SweepRunner(jobs=1, cache=False).run(spec)
+        assert gathered.to_dicts() == serial.to_dicts()
+
+    def test_second_work_call_finds_nothing(self, tmp_path):
+        spec = small_spec(workloads=("square",))
+        work_dir = tmp_path / "wd"
+        scatter(spec, work_dir, workers=2)
+        assert work(work_dir) > 0
+        assert work(work_dir) == 0
+
+    def test_gather_names_missing_units(self, tmp_path):
+        spec = small_spec(workloads=("square",))
+        work_dir = tmp_path / "wd"
+        units = scatter(spec, work_dir, workers=2)
+        with pytest.raises(CacheError) as excinfo:
+            gather(work_dir)
+        message = str(excinfo.value)
+        assert all(str(unit.index) in message for unit in units)
+
+    def test_max_units_bounds_one_call(self, tmp_path):
+        spec = small_spec()
+        work_dir = tmp_path / "wd"
+        units = scatter(spec, work_dir, workers=2)
+        assert len(units) > 1
+        assert work(work_dir, max_units=1) == 1
+        assert work(work_dir) == len(units) - 1
+
+    def test_workers_share_cells_through_cache(self, tmp_path):
+        # Two scattered sweeps over the same work dir: the second's
+        # cells are all served from the shared cache, not recomputed.
+        spec = small_spec(workloads=("square",))
+        work_dir = tmp_path / "wd"
+        scatter(spec, work_dir, workers=1)
+        work(work_dir)
+        result_files = sorted(
+            (work_dir / "results").glob("unit-*.json"))
+        first_docs = [json.loads(p.read_text()) for p in result_files]
+        assert any(cell["how"] == "run"
+                   for doc in first_docs for cell in doc["cells"])
+        for path in list((work_dir / "results").iterdir()):
+            path.unlink()
+        work(work_dir)
+        second_docs = [json.loads(p.read_text()) for p in sorted(
+            (work_dir / "results").glob("unit-*.json"))]
+        assert all(cell["how"] != "run"
+                   for doc in second_docs for cell in doc["cells"])
+
+
+class TestApiIntegration:
+    def test_sweep_workers_routes_through_dist(self, tmp_path):
+        from repro.api import sweep
+
+        spec = small_spec(workloads=("square",))
+        res = sweep(spec, workers=2, cache_dir=tmp_path / "c")
+        serial = sweep(spec, jobs=1, cache=False)
+        assert res.to_dicts() == serial.to_dicts()
+        again = sweep(spec, workers=2, cache_dir=tmp_path / "c")
+        assert again.report.executed == 0
