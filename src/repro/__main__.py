@@ -38,6 +38,11 @@ the extension: ``.json`` → Chrome trace, ``.csv`` → CSV, else JSONL).
 * ``explore`` — successive-halving Pareto search over chiplet count x
   coherence-table capacity x L2 size, scored on (cpelide cycles,
   hardware-cost proxy); prints the frontier of the final rung.
+* ``serve`` — simulation-as-a-service: an HTTP job API over the sweep
+  engine (``POST /v1/simulate``, ``POST /v1/sweep``, job polling, SSE
+  progress streams, cancellation). Jobs from any number of clients
+  dedupe through the shared result cache; admission control sheds
+  overload with ``429`` + ``Retry-After``. See ``docs/server.md``.
 
 ``run`` and ``occupancy`` execute through the sweep engine: ``--jobs N``
 fans simulations out over worker processes, and completed cells are
@@ -479,6 +484,21 @@ def cmd_explore(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.api import serve
+
+    cache = args.cache_dir  # None -> the shared cache's default root
+    try:
+        serve(host=args.host, port=args.port, cache=cache,
+              max_inflight=args.max_inflight,
+              max_queue_depth=args.max_queue_depth,
+              client_quota=args.client_quota,
+              use_uvicorn=args.uvicorn)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_check(args) -> int:
     import dataclasses
 
@@ -729,6 +749,29 @@ def main(argv=None) -> int:
                            help="also write the full exploration "
                                 "history as JSON to this file")
 
+    serve_p = sub.add_parser(
+        "serve", help="serve the simulation job API over HTTP: async "
+                      "submissions, SSE progress streams, shared-cache "
+                      "dedupe across clients")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8642,
+                         help="bind port (default 8642; 0 = ephemeral)")
+    serve_p.add_argument("--cache-dir", default=None,
+                         help="shared result cache root (default: "
+                              "REPRO_CACHE_DIR or ~/.cache/repro-cpelide)")
+    serve_p.add_argument("--max-inflight", type=int, default=2,
+                         help="jobs executing concurrently (default 2)")
+    serve_p.add_argument("--max-queue-depth", type=int, default=64,
+                         help="queued jobs before submissions shed with "
+                              "429 + Retry-After (default 64)")
+    serve_p.add_argument("--client-quota", type=int, default=8,
+                         help="active (queued+running) jobs one client "
+                              "may hold (default 8)")
+    serve_p.add_argument("--uvicorn", action="store_true", default=None,
+                         help="require uvicorn's ASGI server (default: "
+                              "auto-detect, stdlib fallback)")
+
     check_p = sub.add_parser(
         "check", help="differential oracle: cross-check trace paths x "
                       "protocols over the workload suite")
@@ -755,7 +798,7 @@ def main(argv=None) -> int:
     handlers = {"list": cmd_list, "run": cmd_run, "trace": cmd_trace,
                 "occupancy": cmd_occupancy, "bench": cmd_bench,
                 "dist": cmd_dist, "explore": cmd_explore,
-                "check": cmd_check}
+                "serve": cmd_serve, "check": cmd_check}
     return handlers[args.command](args)
 
 

@@ -77,18 +77,22 @@ from repro.workloads.suite import (
     build_workload,
 )
 
-#: Version of the documented :mod:`repro.api` surface. Bumped to ``3.1``
-#: with the distributed engine: ``sweep(workers=...)`` routes through
-#: :class:`~repro.engine.dist.DistSweepRunner` over a
-#: :class:`~repro.engine.cache.SharedResultCache` (cross-process result
-#: store with in-flight dedupe). ``3.0`` added the :class:`TracePath`
+#: Version of the documented :mod:`repro.api` surface. Bumped to ``3.2``
+#: with simulation-as-a-service: :func:`serve` runs the
+#: :class:`~repro.server.ReproServer` HTTP job API (async submissions,
+#: SSE progress streams, admission control) over the same
+#: :class:`~repro.engine.cache.SharedResultCache` the distributed
+#: engine uses. ``3.1`` added the distributed engine:
+#: ``sweep(workers=...)`` routes through
+#: :class:`~repro.engine.dist.DistSweepRunner` over a shared result
+#: store with in-flight dedupe. ``3.0`` added the :class:`TracePath`
 #: enum (replacing raw ``"line"``/``"run"``/``"memo"`` strings, which
 #: still coerce) and the unified keyword-only cache bulk-op API
 #: (:class:`repro.memory.cache.BulkResult`). ``2.0`` added the
 #: keyword-only ``simulate``/``sweep`` signatures, the
 #: ``trace_path=``/``tracer=`` parameters, and the :mod:`repro.errors`
 #: hierarchy.
-__api_version__ = "3.1"
+__api_version__ = "3.2"
 
 __all__ = [
     "CacheError",
@@ -125,6 +129,7 @@ __all__ = [
     "make_protocol",
     "monolithic_equivalent",
     "protocol_names",
+    "serve",
     "simulate",
     "sweep",
     "write_trace",
@@ -284,3 +289,40 @@ def sweep(spec: Optional[SweepSpec] = None,
     runner = SweepRunner(jobs=jobs, cache=cache, cache_dir=cache_dir,
                          progress=progress, tracer=tracer)
     return runner.run(spec)
+
+
+def serve(host: str = "127.0.0.1", port: int = 8642,
+          *,
+          cache: Union[SharedResultCache, str, None] = None,
+          max_inflight: int = 2,
+          max_queue_depth: int = 64,
+          client_quota: int = 8,
+          use_uvicorn: Optional[bool] = None) -> None:
+    """Serve the simulation job API over HTTP until interrupted
+    (api version 3.2).
+
+    Clients ``POST /v1/simulate`` and ``POST /v1/sweep`` bodies (the
+    keyword grids :func:`simulate`/:func:`sweep` accept, as JSON), poll
+    ``GET /v1/jobs/{id}``, stream per-kernel progress from
+    ``GET /v1/jobs/{id}/events`` (Server-Sent Events), and fetch
+    ``GET /v1/jobs/{id}/result`` — a body byte-identical to the same
+    spec run directly through :func:`sweep`. Jobs pass admission
+    control (``max_queue_depth`` shedding with ``429``/``Retry-After``,
+    ``client_quota`` per client) and execute ``max_inflight`` at a time
+    against the :class:`SharedResultCache` rooted at ``cache``, so
+    concurrent clients requesting overlapping cells trigger exactly one
+    computation per cell.
+
+    Pure stdlib by default; ``use_uvicorn=None`` auto-upgrades to
+    uvicorn's ASGI server when it happens to be installed. Equivalent
+    CLI: ``python -m repro serve``. For programmatic/in-process use,
+    instantiate :class:`repro.server.ReproServer` directly.
+    """
+    from repro.server import app as server_app
+
+    server_app.run(host=host, port=port, cache=cache,
+                   max_inflight=max_inflight,
+                   max_queue_depth=max_queue_depth,
+                   client_quota=client_quota, use_uvicorn=use_uvicorn,
+                   ready=lambda url: print(f"repro server listening on "
+                                           f"{url} (Ctrl-C to stop)"))

@@ -32,10 +32,12 @@ from repro.engine.dist import (
     DistSweepRunner,
     WorkUnit,
     gather,
+    run_job_shared,
     scatter,
     shard_jobs,
     work,
 )
+from repro.engine.jobs import CancelToken
 from repro.engine.runner import (
     JobOutcome,
     SweepReport,
@@ -54,6 +56,7 @@ from repro.engine.spec import (
 
 __all__ = [
     "CacheStats",
+    "CancelToken",
     "DEFAULT_PROTOCOLS",
     "DEFAULT_SCALE",
     "DistSweepRunner",
@@ -71,6 +74,7 @@ __all__ = [
     "default_cache_dir",
     "gather",
     "resolve_jobs",
+    "run_job_shared",
     "scatter",
     "shard_jobs",
     "work",

@@ -235,6 +235,20 @@ DEFAULT_LEASE_SECONDS = 300.0
 #: Default polling interval while waiting on another worker's claim.
 DEFAULT_POLL_SECONDS = 0.05
 
+#: Upper bound on the clock-skew margin added to claim deadlines before
+#: they count as expired. Claim deadlines are *wall-clock* timestamps —
+#: the only clock two hosts sharing a cache directory have in common —
+#: so a reader whose clock runs ahead of the writer's would otherwise
+#: reclaim a perfectly live claim. The effective margin is proportional
+#: to the claim's own lease (a 300 s lease tolerates 5 s of skew, a
+#: 10 ms test lease only 2.5 ms, so short-lease tests still expire
+#: promptly), capped here.
+MAX_CLAIM_SKEW_SECONDS = 5.0
+
+#: Fraction of a claim's lease granted as skew margin (capped at
+#: :data:`MAX_CLAIM_SKEW_SECONDS`).
+CLAIM_SKEW_FRACTION = 0.25
+
 #: ``try_claim`` outcomes.
 CLAIM_HIT = "hit"          # result already stored; payload returned
 CLAIM_ACQUIRED = "claimed"  # caller owns the cell and must compute it
@@ -258,6 +272,23 @@ class SharedResultCache(ResultCache):
     hung) is *reclaimed* by the next requester, so no cell can be
     orphaned. Claim files are never ``.json``, so they are invisible to
     ``clear()``/``__len__``.
+
+    **Timekeeping.** Two different clocks are in play and must not be
+    conflated:
+
+    * *Claim deadlines* are **wall-clock** (``time.time()``) timestamps,
+      because they are compared across processes and hosts — wall time
+      is the only clock a network-mounted cache directory's readers
+      share. A claim only counts as expired once its deadline plus a
+      *skew margin* has passed (:meth:`_claim_expired`), so a reader
+      whose clock runs slightly ahead of the writer's cannot reclaim a
+      live claim. The margin scales with the claim's own lease
+      (:data:`CLAIM_SKEW_FRACTION`, capped at
+      :data:`MAX_CLAIM_SKEW_SECONDS`).
+    * *Local timeouts* (the ``timeout`` parameter of :meth:`wait_for`)
+      are measured on ``time.monotonic()``: a backwards wall-clock step
+      (NTP correction, manual adjustment) must neither stall a wait
+      forever nor expire it early.
     """
 
     def __init__(self, root: "os.PathLike[str] | str | None" = None,
@@ -297,13 +328,19 @@ class SharedResultCache(ResultCache):
         return document["result"]
 
     def _write_claim(self, path: pathlib.Path, token: str) -> bool:
-        """Atomically create the claim file; False if it already exists."""
+        """Atomically create the claim file; False if it already exists.
+
+        The deadline is wall-clock (cross-host comparable); the claim
+        also records its own lease duration so readers can scale their
+        skew margin to it (see :meth:`_claim_expired`).
+        """
         import time
         path.parent.mkdir(parents=True, exist_ok=True)
         body = json.dumps({
             "token": token,
             "pid": os.getpid(),
             "deadline": time.time() + self.lease_seconds,
+            "lease": self.lease_seconds,
         })
         try:
             fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
@@ -311,6 +348,58 @@ class SharedResultCache(ResultCache):
             return False
         with os.fdopen(fd, "w") as fh:
             fh.write(body)
+        return True
+
+    def _claim_expired(self, claim: Dict[str, Any]) -> bool:
+        """Whether a claim's lease has expired, with skew margin.
+
+        The deadline comparison is deliberately wall-clock — it is the
+        only clock shared with claim writers on other hosts — guarded by
+        a margin proportional to the claim's declared lease so a reader
+        with a fast clock cannot reclaim a live claim.
+        """
+        import time
+        lease = float(claim.get("lease", self.lease_seconds))
+        margin = min(MAX_CLAIM_SKEW_SECONDS, CLAIM_SKEW_FRACTION * lease)
+        return claim.get("deadline", 0.0) + margin <= time.time()
+
+    def _reclaim_expired(self, claim_path: pathlib.Path,
+                         observed: Dict[str, Any]) -> bool:
+        """Atomically remove an expired claim (token compare-and-swap).
+
+        Naively ``unlink()``-ing an expired claim races: two waiters
+        that both observed the expired deadline would each unlink +
+        exclusively recreate, with the second unlink deleting the *first
+        reclaimer's fresh claim* — and both would then compute the cell.
+        Instead the claim is renamed to a private quarantine path (an
+        atomic take: exactly one renamer wins, the loser gets ENOENT)
+        and its token is compared against the one the caller observed
+        expired. A mismatch means the path held a *newer* claim written
+        between our read and our rename; it is restored via
+        ``os.link`` (a no-op if yet another claimant already created a
+        fresh claim meanwhile — that owner's release simply finds a
+        foreign token and leaves it alone).
+
+        Returns True if this caller removed the expired claim and may
+        now race the exclusive create; the winner is counted as one
+        ``reclaims``.
+        """
+        quarantine = claim_path.with_name(
+            f"{claim_path.name}.reclaim-{os.getpid()}-{id(self):x}")
+        try:
+            os.rename(claim_path, quarantine)
+        except OSError:
+            return False  # another reclaimer (or the owner) acted first
+        stolen = self._read_claim(quarantine)
+        if stolen is not None and stolen.get("token") != observed.get("token"):
+            try:
+                os.link(quarantine, claim_path)
+            except OSError:
+                pass
+            quarantine.unlink(missing_ok=True)
+            return False
+        quarantine.unlink(missing_ok=True)
+        self.stats.reclaims += 1
         return True
 
     # ------------------------------------------------------------------
@@ -327,13 +416,12 @@ class SharedResultCache(ResultCache):
         * ``(CLAIM_INFLIGHT, claim_dict)`` — another live worker holds
           the claim; :meth:`wait_for` the result.
         """
-        import time
         payload = self.load(job)  # counts hit or miss
         if payload is not None:
             return CLAIM_HIT, payload
         claim_path = self._claim_path(self.key(job))
         token = self._claim_token()
-        for attempt in (0, 1):
+        for attempt in (0, 1, 2):
             if self._write_claim(claim_path, token):
                 self.stats.claims += 1
                 return CLAIM_ACQUIRED, token
@@ -342,13 +430,13 @@ class SharedResultCache(ResultCache):
                 # Claim vanished between exists-check and read (the
                 # holder just released it): retry the exclusive create.
                 continue
-            if claim.get("deadline", 0.0) <= time.time():
-                # Expired lease: the holder died or hung. Reclaim by
-                # deleting the stale claim and retrying the exclusive
-                # create — concurrent reclaimers race on the create, and
-                # exactly one wins.
-                claim_path.unlink(missing_ok=True)
-                self.stats.reclaims += 1
+            if self._claim_expired(claim):
+                # Expired lease: the holder died or hung. Remove the
+                # stale claim atomically (exactly one of any number of
+                # concurrent reclaimers wins the compare-and-swap) and
+                # retry the exclusive create; losers re-read and find
+                # the winner's fresh claim.
+                self._reclaim_expired(claim_path, claim)
                 continue
             return CLAIM_INFLIGHT, claim
         return CLAIM_INFLIGHT, {"token": None, "deadline": 0.0}
@@ -377,19 +465,25 @@ class SharedResultCache(ResultCache):
         Polls until the result lands (returned, counted as ``deduped``),
         the claim disappears or expires without a result (``None`` — the
         caller should claim the cell itself), or ``timeout`` elapses.
+
+        ``timeout`` is a *local* deadline, measured on the monotonic
+        clock: a wall-clock step (NTP slew, manual adjustment) while
+        waiting must neither stall the wait nor cut it short. Only the
+        claim's own deadline — written by a possibly-remote worker — is
+        compared in wall time (see :meth:`_claim_expired`).
         """
         import time
         claim_path = self._claim_path(self.key(job))
-        deadline = None if timeout is None else time.time() + timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             payload = self._peek(job)
             if payload is not None:
                 self.stats.deduped += 1
                 return payload
             claim = self._read_claim(claim_path)
-            if claim is None or claim.get("deadline", 0.0) <= time.time():
+            if claim is None or self._claim_expired(claim):
                 return None
-            if deadline is not None and time.time() >= deadline:
+            if deadline is not None and time.monotonic() >= deadline:
                 return None
             time.sleep(self.poll_seconds)
 

@@ -174,14 +174,28 @@ class UnitResult:
 
 
 def run_job_shared(cache: SharedResultCache, job: JobSpec,
-                   ) -> CellResult:
+                   tracer: Optional[Tracer] = None,
+                   cancel: "Optional[Any]" = None) -> CellResult:
     """Execute one cell through the claim/lease protocol.
 
     Exactly one worker anywhere computes the cell; everyone else is
     served the stored or in-flight result. ``how`` records which way
     this call went.
+
+    ``tracer`` (same-process callers only — tracers cannot cross the
+    fork boundary) threads an observability sink into the simulation,
+    so e.g. the job server streams kernel-level progress while the cell
+    computes. ``cancel`` is a :class:`~repro.engine.jobs.CancelToken`:
+    a tripped token raises :class:`~repro.errors.JobCancelled` before
+    the cell starts, and — when the tracer also observes the token, as
+    :class:`~repro.obs.streaming.StreamingTracer` does — at the next
+    kernel boundary of a running simulation. Either way the claim this
+    call acquired is *abandoned* (released immediately), never left to
+    expire, so concurrent waiters on the cell take over at once.
     """
     t0 = time.perf_counter()
+    if cancel is not None:
+        cancel.raise_if_set()
     deduped_before = cache.stats.deduped
     status, value = cache.acquire(job)
     if status == CLAIM_HIT:
@@ -192,7 +206,9 @@ def run_job_shared(cache: SharedResultCache, job: JobSpec,
     assert status == CLAIM_ACQUIRED
     token = value
     try:
-        payload, memo, _obs, seconds, _pid = _execute_job(job)
+        if cancel is not None:
+            cancel.raise_if_set()
+        payload, memo, _obs, seconds, _pid = _execute_job(job, tracer)
     except BaseException:
         cache.abandon(job, token)
         raise
@@ -482,10 +498,14 @@ def work(work_dir: "os.PathLike[str] | str",
         claim_path = result_path.with_suffix(".json.claim")
         if not cache._write_claim(claim_path, cache._claim_token()):
             claim = cache._read_claim(claim_path)
+            if claim is not None and not cache._claim_expired(claim):
+                continue  # another live worker owns this unit
+            # Vanished or expired claim: take it over atomically — the
+            # token compare-and-swap in _reclaim_expired prevents two
+            # workers from re-executing the same unit.
             if claim is not None and \
-                    claim.get("deadline", 0.0) > time.time():
+                    not cache._reclaim_expired(claim_path, claim):
                 continue
-            claim_path.unlink(missing_ok=True)
             if not cache._write_claim(claim_path, cache._claim_token()):
                 continue
         unit = WorkUnit.from_payload(

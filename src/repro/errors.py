@@ -25,6 +25,7 @@ Hierarchy::
     ReproError
     ├── ConfigError         (ValueError)       bad GPUConfig / spec / CLI knob
     ├── CacheError          (RuntimeError)     result-cache misconfiguration
+    ├── JobCancelled        (RuntimeError)     a queued/running job was cancelled
     ├── InvariantViolation  (AssertionError)   repro.check sanitizer failure
     └── OracleDivergence    (AssertionError)   cross-path differential mismatch
 """
@@ -35,6 +36,7 @@ __all__ = [
     "CacheError",
     "ConfigError",
     "InvariantViolation",
+    "JobCancelled",
     "OracleDivergence",
     "ReproError",
 ]
@@ -53,6 +55,14 @@ class ConfigError(ReproError, ValueError):
 class CacheError(ReproError, RuntimeError):
     """The on-disk result cache is misconfigured (e.g. the code-version
     salt references source files that do not exist)."""
+
+
+class JobCancelled(ReproError, RuntimeError):
+    """A job was cancelled through its
+    :class:`~repro.engine.jobs.CancelToken` — either while queued or at
+    the next kernel boundary of an in-flight simulation. Raising it
+    unwinds the cell's execution so its shared-cache claim is abandoned
+    (released) instead of left to expire."""
 
 
 class InvariantViolation(ReproError, AssertionError):

@@ -18,6 +18,7 @@ ones on every trace path, and the disabled default
 """
 
 from repro.obs.metrics import Distribution, MetricRegistry
+from repro.obs.streaming import StreamingTracer
 from repro.obs.tracer import (
     Event,
     EventTracer,
@@ -40,6 +41,7 @@ __all__ = [
     "MetricRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "StreamingTracer",
     "Tracer",
     "chrome_trace",
     "distributions_csv",

@@ -1,0 +1,148 @@
+"""Streaming tracer: live, thread-safe event feed for the job server.
+
+:class:`StreamingTracer` implements the :class:`~repro.obs.tracer.Tracer`
+protocol for a consumer on *another thread*: the simulation runs in a
+worker thread and appends events, while an asyncio SSE handler
+repeatedly :meth:`~StreamingTracer.drain`\\ s whatever arrived since its
+cursor and forwards it to the client. Only the coarse progress hooks
+record (run, kernel, memo, sweep-cell, shard) — the per-access firehose
+stays off, so streaming costs one list append per kernel boundary, not
+per cache line.
+
+Events carry the same ``seq``/``kind``/``phase``/``args`` structure as
+:class:`~repro.obs.tracer.EventTracer`'s, emitted from the same
+tracepoint call sites in the same order, so a streamed kernel timeline
+is ordering-identical to a recorded one (``tests/test_server.py`` pins
+this).
+
+The tracer doubles as the engine's *in-band cancellation point*: give
+it a :class:`~repro.engine.jobs.CancelToken` and a tripped token raises
+:class:`~repro.errors.JobCancelled` at the next kernel boundary,
+unwinding the cell so its shared-cache claim is abandoned rather than
+left to expire. This is the one deliberate exception to tracer purity —
+a cancelled run produces no result at all, never a different one.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.tracer import Event, Tracer
+
+__all__ = ["StreamingTracer"]
+
+
+class StreamingTracer(Tracer):
+    """Thread-safe progress tracer with an incremental drain cursor.
+
+    Attributes:
+        cancel: Optional :class:`~repro.engine.jobs.CancelToken`
+            observed at kernel boundaries.
+        kernels_done: Kernels completed so far (across all runs).
+        runs_done: Simulations completed so far.
+        cells_done: Sweep cells finished so far (``phase="end"``).
+    """
+
+    enabled = True
+
+    def __init__(self, cancel: "Optional[Any]" = None,
+                 max_events: int = 100_000) -> None:
+        self.cancel = cancel
+        self.kernels_done = 0
+        self.runs_done = 0
+        self.cells_done = 0
+        self._events: List[Event] = []
+        self._dropped = 0
+        self._max_events = max_events
+        self._seq = 0
+        self._lock = threading.Lock()
+
+    # ---- event plumbing -------------------------------------------------
+
+    def _emit(self, kind: str, phase: str, args: Dict[str, Any]) -> None:
+        with self._lock:
+            if len(self._events) >= self._max_events:
+                # Bound memory on pathological sweeps; the counter keeps
+                # the loss visible to consumers instead of silent.
+                self._dropped += 1
+                self._seq += 1
+                return
+            self._events.append(Event(seq=self._seq, ts=0.0, kind=kind,
+                                      phase=phase, args=args))
+            self._seq += 1
+
+    def drain(self, cursor: int = 0) -> Tuple[int, List[Event]]:
+        """Events recorded at positions >= ``cursor``; returns the new
+        cursor. Safe to call from any thread while the simulation runs;
+        repeated calls with the returned cursor see every event exactly
+        once, in emission order."""
+        with self._lock:
+            events = self._events[cursor:]
+            return cursor + len(events), events
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded after ``max_events`` was reached."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # ---- progress hooks --------------------------------------------------
+
+    def run_begin(self, *, workload: str, protocol: str, num_chiplets: int,
+                  clock_hz: float, trace_path: str = "") -> None:
+        self._emit("run", "begin", {
+            "workload": workload, "protocol": protocol,
+            "num_chiplets": num_chiplets, "trace_path": trace_path})
+
+    def run_end(self, *, wall_cycles: float, kernels: int) -> None:
+        self.runs_done += 1
+        self._emit("run", "end",
+                   {"wall_cycles": wall_cycles, "kernels": kernels})
+
+    def kernel_launch(self, *, name: str, index: int, stream: int,
+                      chiplets: "tuple | list") -> None:
+        self._emit("kernel", "launch", {
+            "name": name, "index": index, "stream": stream,
+            "chiplets": list(chiplets)})
+
+    def kernel_complete(self, *, name: str, index: int, stream: int,
+                        cycles: float, sync_cycles: float = 0.0,
+                        lines: int = 0, lines_flushed: int = 0,
+                        lines_invalidated: int = 0,
+                        memo: Optional[str] = None) -> None:
+        self.kernels_done += 1
+        args: Dict[str, Any] = {
+            "name": name, "index": index, "stream": stream,
+            "cycles": cycles, "sync_cycles": sync_cycles}
+        if memo is not None:
+            args["memo"] = memo
+        self._emit("kernel", "complete", args)
+        if self.cancel is not None:
+            # The kernel boundary is the engine's cancellation point:
+            # unwinding here abandons the cell's shared-cache claim.
+            self.cancel.raise_if_set()
+
+    def memo_event(self, *, outcome: str, name: str, index: int) -> None:
+        self._emit("memo", outcome, {"name": name, "index": index})
+
+    def sweep_begin(self, *, label: str, cells: int) -> None:
+        self._emit("sweep", "begin", {"label": label, "cells": cells})
+
+    def sweep_cell(self, *, phase: str, label: str, cached: bool = False,
+                   seconds: float = 0.0) -> None:
+        if phase == "end":
+            self.cells_done += 1
+        self._emit("sweep", f"cell-{phase}", {
+            "label": label, "cached": cached, "seconds": seconds})
+
+    def shard_event(self, *, phase: str, shard: int, worker: str = "",
+                    cells: int = 0, executed: int = 0, hits: int = 0,
+                    deduped: int = 0, seconds: float = 0.0) -> None:
+        self._emit("shard", phase, {
+            "shard": shard, "worker": worker, "cells": cells,
+            "executed": executed, "hits": hits, "deduped": deduped,
+            "seconds": seconds})

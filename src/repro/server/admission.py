@@ -1,0 +1,147 @@
+"""Admission control for the simulation service.
+
+Three independent gates run at submission time, before a job is ever
+queued (the `robot-buddy` server shape: reject at the door, not after
+buying a seat):
+
+* **queue-depth shedding** — when the backlog already holds
+  ``max_queue_depth`` jobs, new submissions are shed with ``429`` and a
+  ``Retry-After`` estimated from the observed job service rate, so
+  well-behaved clients back off for roughly one drain period instead of
+  hammering a saturated server;
+* **per-client quota** — one client may hold at most ``client_quota``
+  *active* (queued + running) jobs, so a single aggressive client
+  cannot starve the others out of the queue it shares;
+* **cell budget** — enforced earlier by the schema layer
+  (:data:`~repro.server.schemas.MAX_CELLS_PER_JOB`), bounding how long
+  any single admitted job can occupy a worker slot.
+
+The controller is pure bookkeeping on the asyncio thread: the app layer
+calls :meth:`admit` + :meth:`on_enqueue` at submission,
+:meth:`on_start` when the scheduler moves a job to a worker, and
+:meth:`on_finish`/:meth:`on_cancel_queued` when the job leaves the
+system.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["AdmissionController", "AdmissionDecision"]
+
+#: Fallback job-duration estimate (seconds) before any job finished.
+INITIAL_JOB_SECONDS = 5.0
+
+#: EMA weight of the newest observed job duration.
+EMA_ALPHA = 0.3
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    status: int = 202
+    reason: str = ""
+    retry_after: float = 0.0
+
+
+class AdmissionController:
+    """Submission gatekeeping + occupancy accounting."""
+
+    def __init__(self, max_inflight: int = 2, max_queue_depth: int = 64,
+                 client_quota: int = 8) -> None:
+        self.max_inflight = max(1, max_inflight)
+        self.max_queue_depth = max(1, max_queue_depth)
+        self.client_quota = max(1, client_quota)
+        self.queued = 0
+        self.running = 0
+        self.rejected = 0
+        self.finished = 0
+        self._active_per_client: Dict[str, int] = {}
+        self._ema_job_seconds = INITIAL_JOB_SECONDS
+
+    # ------------------------------------------------------------------
+
+    def retry_after(self) -> float:
+        """Seconds a shed client should wait: roughly how long the
+        current backlog takes to drain through the worker slots."""
+        backlog = max(1, self.queued + self.running)
+        return max(1.0, math.ceil(
+            backlog * self._ema_job_seconds / self.max_inflight))
+
+    def active_for(self, client: str) -> int:
+        """Queued + running jobs held by one client."""
+        return self._active_per_client.get(client, 0)
+
+    def admit(self, client: str) -> AdmissionDecision:
+        """Check the gates; does NOT book occupancy (see on_enqueue)."""
+        if self.queued >= self.max_queue_depth:
+            self.rejected += 1
+            return AdmissionDecision(
+                admitted=False, status=429,
+                reason=(f"queue full ({self.queued} jobs deep, limit "
+                        f"{self.max_queue_depth}); retry later"),
+                retry_after=self.retry_after())
+        if self.active_for(client) >= self.client_quota:
+            self.rejected += 1
+            return AdmissionDecision(
+                admitted=False, status=429,
+                reason=(f"client {client!r} already has "
+                        f"{self.active_for(client)} active jobs (quota "
+                        f"{self.client_quota}); wait for one to finish"),
+                retry_after=self.retry_after())
+        return AdmissionDecision(admitted=True)
+
+    # ------------------------------------------------------------------
+
+    def on_enqueue(self, client: str) -> None:
+        self.queued += 1
+        self._active_per_client[client] = self.active_for(client) + 1
+
+    def on_start(self, client: str) -> None:
+        self.queued -= 1
+        self.running += 1
+
+    def on_cancel_queued(self, client: str) -> None:
+        """A job left the queue without ever starting."""
+        self.queued -= 1
+        self._drop_client(client)
+
+    def on_finish(self, client: str, seconds: float) -> None:
+        """A started job reached a terminal state."""
+        self.running -= 1
+        self.finished += 1
+        self._drop_client(client)
+        if seconds > 0:
+            self._ema_job_seconds = (EMA_ALPHA * seconds + (1 - EMA_ALPHA)
+                                     * self._ema_job_seconds)
+
+    def _drop_client(self, client: str) -> None:
+        remaining = self.active_for(client) - 1
+        if remaining > 0:
+            self._active_per_client[client] = remaining
+        else:
+            self._active_per_client.pop(client, None)
+
+    # ------------------------------------------------------------------
+
+    def has_slot(self) -> bool:
+        """Whether a worker slot is free for the scheduler to fill."""
+        return self.running < self.max_inflight
+
+    def snapshot(self) -> Dict[str, float]:
+        """Occupancy + knobs for the metrics endpoint."""
+        return {
+            "queued": self.queued,
+            "running": self.running,
+            "rejected": self.rejected,
+            "finished": self.finished,
+            "max_inflight": self.max_inflight,
+            "max_queue_depth": self.max_queue_depth,
+            "client_quota": self.client_quota,
+            "clients_active": len(self._active_per_client),
+            "ema_job_seconds": round(self._ema_job_seconds, 3),
+        }

@@ -1,0 +1,482 @@
+"""The simulation service: routes, scheduler, and job execution.
+
+:class:`ReproServer` wires the pieces together. The asyncio thread owns
+the HTTP surface, the admission controller, and the job queue; a small
+scheduler task moves queued jobs onto a thread pool whenever a worker
+slot frees up. Each worker thread executes its job's cells *serially*
+through :func:`~repro.engine.dist.run_job_shared` against the server's
+:class:`~repro.engine.cache.SharedResultCache` — concurrency comes from
+multiple jobs in flight at once, and overlapping jobs dedupe through
+the cache's claim/lease protocol instead of computing the same cell
+twice. Cells run in-process (not forked) so the job's
+:class:`~repro.obs.streaming.StreamingTracer` sees kernel-level
+progress for the SSE feed and its
+:class:`~repro.engine.jobs.CancelToken` can unwind a running cell at
+the next kernel boundary.
+
+Endpoints (all JSON unless noted)::
+
+    POST /v1/simulate          submit one cell            -> 202 job
+    POST /v1/sweep             submit a grid              -> 202 job
+    GET  /v1/jobs              list jobs + occupancy
+    GET  /v1/jobs/{id}         job status + progress
+    GET  /v1/jobs/{id}/result  results (409 until done)
+    GET  /v1/jobs/{id}/events  live SSE stream (text/event-stream)
+    POST /v1/jobs/{id}/cancel  cancel queued/running job
+    GET  /healthz              liveness
+    GET  /metrics              admission + cache + job metrics
+
+Saturation answers ``429`` with a ``Retry-After`` header; malformed
+bodies answer ``400``; unknown jobs ``404``.
+
+A job's ``result`` body carries every cell's ``to_dict()`` payload in
+spec order, reconstructed exactly the way :func:`repro.api.sweep`
+serializes its outcomes — a served sweep is byte-identical JSON to a
+direct in-process run of the same spec.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import functools
+import re
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.engine.cache import CacheStats, SharedResultCache
+from repro.engine.dist import HOW_RUN, run_job_shared
+from repro.engine.runner import _reconstruct
+from repro.errors import ConfigError, JobCancelled
+from repro.obs.metrics import MetricRegistry
+from repro.server.http import (
+    AsgiAdapter,
+    Request,
+    Response,
+    StreamResponse,
+    json_response,
+    serve_connection,
+)
+from repro.server.admission import AdmissionController
+from repro.server.queue import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobQueue,
+)
+from repro.server.schemas import (
+    DEFAULT_CLIENT,
+    Submission,
+    parse_simulate,
+    parse_sweep,
+)
+from repro.server.sse import job_event_stream
+
+__all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "ReproServer", "run"]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+
+def _stats_dict(stats: CacheStats) -> Dict[str, int]:
+    """A cache-stats counter block as reported to clients."""
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "stores": stats.stores,
+        "deduped": stats.deduped,
+        "claims": stats.claims,
+        "reclaims": stats.reclaims,
+        "invalidations": stats.invalidations,
+    }
+
+
+class ReproServer:
+    """The simulation-as-a-service app (framework-independent).
+
+    ``cache`` accepts an existing :class:`SharedResultCache` or a cache
+    root path (``None`` = the cache's default root), so several server
+    processes — or a server and CLI sweeps — can share one result store
+    and dedupe against each other exactly like distributed workers do.
+    """
+
+    def __init__(self, cache: Union[SharedResultCache, str, None] = None,
+                 max_inflight: int = 2, max_queue_depth: int = 64,
+                 client_quota: int = 8) -> None:
+        if isinstance(cache, SharedResultCache):
+            self.cache = cache
+        else:
+            self.cache = SharedResultCache(root=cache)
+        self.admission = AdmissionController(
+            max_inflight=max_inflight, max_queue_depth=max_queue_depth,
+            client_quota=client_quota)
+        self.queue = JobQueue()
+        self.jobs: Dict[str, Job] = {}
+        self.metrics = MetricRegistry("server")
+        self.asgi = AsgiAdapter(self.dispatch, app=self)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.admission.max_inflight,
+            thread_name_prefix="repro-job")
+        self._stats_lock = threading.Lock()
+        self._wakeup = asyncio.Event()
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ---- routing ---------------------------------------------------------
+
+    _ROUTES = (
+        ("POST", re.compile(r"^/v1/simulate$"), "_handle_simulate"),
+        ("POST", re.compile(r"^/v1/sweep$"), "_handle_sweep"),
+        ("GET", re.compile(r"^/v1/jobs$"), "_handle_jobs"),
+        ("GET", re.compile(r"^/v1/jobs/(?P<job_id>[0-9a-f]+)$"),
+         "_handle_status"),
+        ("GET", re.compile(r"^/v1/jobs/(?P<job_id>[0-9a-f]+)/result$"),
+         "_handle_result"),
+        ("GET", re.compile(r"^/v1/jobs/(?P<job_id>[0-9a-f]+)/events$"),
+         "_handle_events"),
+        ("POST", re.compile(r"^/v1/jobs/(?P<job_id>[0-9a-f]+)/cancel$"),
+         "_handle_cancel"),
+        ("GET", re.compile(r"^/healthz$"), "_handle_health"),
+        ("GET", re.compile(r"^/metrics$"), "_handle_metrics"),
+    )
+
+    async def dispatch(self, request: Request,
+                       ) -> "Response | StreamResponse":
+        """Route one request; shared by the stdlib and ASGI faces."""
+        path_known = False
+        for method, pattern, name in self._ROUTES:
+            match = pattern.match(request.path)
+            if match is None:
+                continue
+            path_known = True
+            if request.method != method:
+                continue
+            handler: Callable = getattr(self, name)
+            return await handler(request, **match.groupdict())
+        if path_known:
+            return json_response(
+                {"error": f"method {request.method} not allowed here"},
+                status=405)
+        return json_response(
+            {"error": f"unknown path {request.path!r}"}, status=404)
+
+    def _job_or_none(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    # ---- submission ------------------------------------------------------
+
+    async def _submit(self, request: Request,
+                      parser: Callable[[Any], Submission]) -> Response:
+        try:
+            body = request.json()
+            submission = parser(body)
+        except ConfigError as exc:
+            return json_response({"error": str(exc)}, status=400)
+        header_client = request.client_header
+        if (header_client and isinstance(body, dict)
+                and "client" not in body
+                and submission.client == DEFAULT_CLIENT):
+            submission = dataclasses.replace(submission,
+                                             client=header_client[:120])
+        decision = self.admission.admit(submission.client)
+        if not decision.admitted:
+            return json_response(
+                {"error": decision.reason,
+                 "retry_after": decision.retry_after},
+                status=decision.status,
+                headers={"Retry-After": str(int(decision.retry_after))})
+        job = Job(submission=submission)
+        self.jobs[job.id] = job
+        self.admission.on_enqueue(job.client)
+        self.queue.push(job)
+        self._wakeup.set()
+        return json_response(job.status_payload(), status=202)
+
+    async def _handle_simulate(self, request: Request) -> Response:
+        return await self._submit(request, parse_simulate)
+
+    async def _handle_sweep(self, request: Request) -> Response:
+        return await self._submit(request, parse_sweep)
+
+    # ---- inspection ------------------------------------------------------
+
+    async def _handle_jobs(self, request: Request) -> Response:
+        jobs: List[Dict[str, Any]] = [{
+            "id": job.id,
+            "state": job.state,
+            "client": job.client,
+            "priority": job.priority,
+            "cells_total": job.cells_total,
+            "cells_done": job.tracer.cells_done,
+        } for job in self.jobs.values()]
+        return json_response({"jobs": jobs,
+                              "admission": self.admission.snapshot()})
+
+    async def _handle_status(self, request: Request,
+                             job_id: str) -> Response:
+        job = self._job_or_none(job_id)
+        if job is None:
+            return json_response({"error": f"no job {job_id!r}"},
+                                 status=404)
+        return json_response(job.status_payload())
+
+    async def _handle_result(self, request: Request,
+                             job_id: str) -> Response:
+        job = self._job_or_none(job_id)
+        if job is None:
+            return json_response({"error": f"no job {job_id!r}"},
+                                 status=404)
+        if not job.terminal:
+            return json_response(
+                {"error": f"job {job_id} is {job.state}; result not "
+                          f"ready", "state": job.state},
+                status=409)
+        if job.state != DONE:
+            return json_response(
+                {"error": f"job {job_id} ended {job.state}: "
+                          f"{job.error or 'no result'}",
+                 "state": job.state},
+                status=409)
+        assert job.result is not None
+        return json_response(job.result)
+
+    async def _handle_events(self, request: Request,
+                             job_id: str) -> "Response | StreamResponse":
+        job = self._job_or_none(job_id)
+        if job is None:
+            return json_response({"error": f"no job {job_id!r}"},
+                                 status=404)
+        return StreamResponse(
+            chunks=job_event_stream(job),
+            headers={"Content-Type": "text/event-stream",
+                     "Cache-Control": "no-cache"})
+
+    # ---- cancellation ----------------------------------------------------
+
+    async def _handle_cancel(self, request: Request,
+                             job_id: str) -> Response:
+        job = self._job_or_none(job_id)
+        if job is None:
+            return json_response({"error": f"no job {job_id!r}"},
+                                 status=404)
+        if job.terminal:
+            return json_response(job.status_payload())  # idempotent
+        if job.state == QUEUED:
+            job.cancel.cancel("cancelled while queued")
+            job.mark_finished(CANCELLED, error="cancelled before start")
+            self.admission.on_cancel_queued(job.client)
+            return json_response(job.status_payload())
+        # Running: trip the token; the worker unwinds at the next kernel
+        # boundary (or cell start) and abandons its shared-cache claim.
+        job.cancel.cancel("cancelled by client")
+        return json_response(job.status_payload(), status=202)
+
+    # ---- health + metrics ------------------------------------------------
+
+    async def _handle_health(self, request: Request) -> Response:
+        return json_response({"status": "ok",
+                              "jobs": len(self.jobs),
+                              "running": self.admission.running})
+
+    async def _handle_metrics(self, request: Request) -> Response:
+        states: Dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        with self._stats_lock:
+            cache = _stats_dict(self.cache.stats)
+        return json_response({
+            "admission": self.admission.snapshot(),
+            "cache": cache,
+            "jobs_by_state": states,
+            "server": self.metrics.to_dict(include_children=False),
+        })
+
+    # ---- scheduling + execution ------------------------------------------
+
+    async def start_background(self) -> None:
+        """Start the scheduler task (idempotent)."""
+        if self._scheduler_task is None or self._scheduler_task.done():
+            self._scheduler_task = asyncio.get_running_loop().create_task(
+                self._scheduler())
+
+    async def stop_background(self) -> None:
+        """Stop the scheduler and the worker pool."""
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            try:
+                await self._scheduler_task
+            except asyncio.CancelledError:
+                pass
+            self._scheduler_task = None
+        for job in self.jobs.values():
+            if not job.terminal:
+                job.cancel.cancel("server shutting down")
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    async def _scheduler(self) -> None:
+        """Move queued jobs onto worker threads as slots free up."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            while self.admission.has_slot():
+                job = self.queue.pop()
+                if job is None:
+                    break
+                job.mark_started()
+                self.admission.on_start(job.client)
+                future = loop.run_in_executor(self._executor,
+                                              self._run_job, job)
+                future.add_done_callback(
+                    functools.partial(self._on_job_done, job))
+
+    def _on_job_done(self, job: Job, _future: "asyncio.Future") -> None:
+        """Runs on the event loop thread when a worker finishes."""
+        self.admission.on_finish(job.client, job.run_seconds)
+        self.metrics.count(f"jobs_{job.state}")
+        self.metrics.observe("job_seconds", job.run_seconds)
+        self._wakeup.set()
+
+    def _run_job(self, job: Job) -> None:
+        """Worker-thread body: execute every cell through the shared
+        cache, then publish the result and the terminal state.
+
+        Each job gets its own cache *instance* over the server's root +
+        salt so its stats start at zero — the result reports exactly
+        this job's hit/dedupe behavior — then folds them into the
+        server-wide counters.
+        """
+        cache = SharedResultCache(root=self.cache.root,
+                                  salt=self.cache.salt,
+                                  lease_seconds=self.cache.lease_seconds,
+                                  poll_seconds=self.cache.poll_seconds)
+        spec = job.submission.spec
+        tracer = job.tracer
+        t0 = time.perf_counter()
+        try:
+            cells = spec.expand()
+            tracer.sweep_begin(
+                label=f"serve:{spec.kind}:{len(cells)} cells",
+                cells=len(cells))
+            payloads: List[Dict[str, Any]] = []
+            executed = hits = deduped = 0
+            for cell_spec in cells:
+                tracer.sweep_cell(phase="begin", label=cell_spec.label)
+                cell = run_job_shared(cache, cell_spec, tracer=tracer,
+                                      cancel=job.cancel)
+                tracer.sweep_cell(phase="end", label=cell_spec.label,
+                                  cached=cell.how != HOW_RUN,
+                                  seconds=cell.seconds)
+                if cell.how == HOW_RUN:
+                    executed += 1
+                elif cell.how == "dedup":
+                    deduped += 1
+                else:
+                    hits += 1
+                # Reconstruct-then-serialize is exactly the transform
+                # repro.api.sweep applies, keeping served results
+                # byte-identical to a direct in-process run.
+                payloads.append(
+                    _reconstruct(cell_spec, cell.payload).to_dict())
+            job.result = {
+                "id": job.id,
+                "state": DONE,
+                "results": payloads,
+                "report": {
+                    "total_jobs": len(cells),
+                    "executed": executed,
+                    "cache_hits": hits,
+                    "deduped": deduped,
+                    "wall_seconds": round(time.perf_counter() - t0, 6),
+                },
+                "cache": _stats_dict(cache.stats),
+            }
+            job.cache_stats = _stats_dict(cache.stats)
+            job.mark_finished(DONE)
+        except JobCancelled as exc:
+            job.cache_stats = _stats_dict(cache.stats)
+            job.mark_finished(CANCELLED, error=str(exc))
+        except Exception as exc:
+            job.cache_stats = _stats_dict(cache.stats)
+            job.mark_finished(
+                FAILED, error=f"{type(exc).__name__}: {exc}")
+        finally:
+            with self._stats_lock:
+                self.cache.stats.merge(cache.stats.snapshot())
+
+    # ---- network faces ---------------------------------------------------
+
+    async def start(self, host: str = DEFAULT_HOST,
+                    port: int = DEFAULT_PORT) -> asyncio.AbstractServer:
+        """Bind the stdlib server and start the scheduler; returns the
+        bound :class:`asyncio.Server` (``port=0`` picks a free port —
+        read it off ``server.sockets[0].getsockname()``)."""
+        await self.start_background()
+        self._server = await asyncio.start_server(
+            functools.partial(serve_connection, self.dispatch),
+            host, port)
+        return self._server
+
+    async def stop(self) -> None:
+        """Close the listener and the background machinery."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.stop_background()
+
+    async def serve(self, host: str = DEFAULT_HOST,
+                    port: int = DEFAULT_PORT,
+                    ready: Optional[Callable[[str], None]] = None) -> None:
+        """Serve until cancelled (the blocking entry point)."""
+        server = await self.start(host, port)
+        if ready is not None:
+            bound = server.sockets[0].getsockname()
+            ready(f"http://{bound[0]}:{bound[1]}")
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            await self.stop_background()
+
+
+def run(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+        cache: Union[SharedResultCache, str, None] = None,
+        max_inflight: int = 2, max_queue_depth: int = 64,
+        client_quota: int = 8, use_uvicorn: Optional[bool] = None,
+        ready: Optional[Callable[[str], None]] = None) -> None:
+    """Build a :class:`ReproServer` and serve it until interrupted.
+
+    ``use_uvicorn=None`` auto-detects: when uvicorn happens to be
+    installed the app runs through its ASGI face, otherwise (the normal
+    case — the package needs nothing beyond the stdlib) through the
+    built-in asyncio server. ``True`` requires uvicorn; ``False`` forces
+    the stdlib path.
+    """
+    server = ReproServer(cache=cache, max_inflight=max_inflight,
+                         max_queue_depth=max_queue_depth,
+                         client_quota=client_quota)
+    uvicorn = None
+    if use_uvicorn is not False:
+        try:
+            import uvicorn  # type: ignore[no-redef]
+        except ImportError:
+            uvicorn = None
+            if use_uvicorn is True:
+                raise ConfigError(
+                    "use_uvicorn=True but uvicorn is not installed; "
+                    "install it or pass use_uvicorn=False for the "
+                    "stdlib server")
+    if uvicorn is not None:
+        uvicorn.run(server.asgi, host=host, port=port,
+                    log_level="warning")
+        return
+    try:
+        asyncio.run(server.serve(host, port, ready=ready))
+    except KeyboardInterrupt:
+        pass

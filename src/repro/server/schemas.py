@@ -1,0 +1,251 @@
+"""Request/response schemas of the simulation service.
+
+Hand-rolled validation over plain dicts — the server has no hard
+dependency on FastAPI/pydantic, so the checks a framework would derive
+from type annotations live here explicitly. Every parser returns a
+:class:`Submission` (a validated :class:`~repro.engine.spec.SweepSpec`
+plus queue metadata) or raises :class:`~repro.errors.ConfigError` with
+a message the app layer maps to a ``400`` body.
+
+Two request shapes exist:
+
+``POST /v1/simulate`` — one cell::
+
+    {"workload": "square", "protocol": "cpelide", "chiplets": 4,
+     "scale": 0.03125, "scheduler": "static", "trace_path": "run",
+     "config": {"l2_assoc": 32}, "priority": 0, "client": "alice"}
+
+``POST /v1/sweep`` — a grid::
+
+    {"workloads": ["square", "bfs"], "protocols": ["baseline", "cpelide"],
+     "chiplet_counts": [4], "scale": 0.03125, "scheduler": "static",
+     "priority": 5, "client": "alice"}
+
+Everything is optional except ``simulate``'s ``workload``; defaults
+mirror :func:`repro.api.sweep`. ``config`` carries extra
+:class:`~repro.gpu.config.GPUConfig` field overrides by name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.engine.spec import DEFAULT_PROTOCOLS, DEFAULT_SCALE, SweepSpec
+from repro.errors import ConfigError
+from repro.gpu.config import GPUConfig
+
+__all__ = ["Submission", "parse_simulate", "parse_sweep"]
+
+#: Client id used when a request names none (no auth layer — the id
+#: only partitions quota buckets and job listings).
+DEFAULT_CLIENT = "anonymous"
+
+#: Hard cap on cells per submitted job: a single request must not be
+#: able to occupy a worker slot for an unbounded stretch. Bigger sweeps
+#: split into several jobs and still dedupe through the shared cache.
+MAX_CELLS_PER_JOB = 512
+
+
+@dataclass(frozen=True)
+class Submission:
+    """A validated job submission: what to run, and how to queue it."""
+
+    spec: SweepSpec
+    client: str = DEFAULT_CLIENT
+    priority: int = 0
+
+    @property
+    def cells(self) -> int:
+        return self.spec.num_jobs
+
+
+def _require_mapping(body: Any) -> Dict[str, Any]:
+    if body is None:
+        return {}
+    if not isinstance(body, dict):
+        raise ConfigError(
+            f"request body must be a JSON object, got {type(body).__name__}")
+    return body
+
+def _reject_unknown(body: Dict[str, Any], allowed: Tuple[str, ...],
+                    where: str) -> None:
+    unknown = sorted(set(body) - set(allowed))
+    if unknown:
+        raise ConfigError(
+            f"{where}: unknown field(s) {unknown}; allowed: {sorted(allowed)}")
+
+
+def _string(body: Dict[str, Any], name: str, default: Optional[str],
+            choices: Optional[Sequence[str]] = None,
+            required: bool = False) -> Optional[str]:
+    value = body.get(name, default)
+    if value is None:
+        if required:
+            raise ConfigError(f"missing required field {name!r}")
+        return None
+    if not isinstance(value, str):
+        raise ConfigError(f"{name} must be a string, got {value!r}")
+    if choices is not None and value not in choices:
+        raise ConfigError(
+            f"unknown {name} {value!r}; choose from {sorted(choices)}")
+    return value
+
+
+def _number(body: Dict[str, Any], name: str, default: float,
+            minimum: float, maximum: float) -> float:
+    value = body.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigError(f"{name} must be a number, got {value!r}")
+    if not (minimum <= value <= maximum):
+        raise ConfigError(
+            f"{name} must be in [{minimum:g}, {maximum:g}], got {value!r}")
+    return float(value)
+
+
+def _int(body: Dict[str, Any], name: str, default: int,
+         minimum: int, maximum: int) -> int:
+    value = body.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigError(f"{name} must be an integer, got {value!r}")
+    if not (minimum <= value <= maximum):
+        raise ConfigError(
+            f"{name} must be in [{minimum}, {maximum}], got {value!r}")
+    return value
+
+
+def _string_list(body: Dict[str, Any], name: str,
+                 choices: Sequence[str]) -> Optional[Tuple[str, ...]]:
+    value = body.get(name)
+    if value is None:
+        return None
+    if isinstance(value, str):
+        value = [value]
+    if (not isinstance(value, list) or not value
+            or not all(isinstance(v, str) for v in value)):
+        raise ConfigError(f"{name} must be a non-empty list of strings, "
+                          f"got {value!r}")
+    bad = sorted(set(value) - set(choices))
+    if bad:
+        raise ConfigError(
+            f"unknown {name} {bad}; choose from {sorted(choices)}")
+    return tuple(value)
+
+
+def _int_list(body: Dict[str, Any], name: str, default: Tuple[int, ...],
+              minimum: int, maximum: int) -> Tuple[int, ...]:
+    value = body.get(name)
+    if value is None:
+        return default
+    if isinstance(value, int) and not isinstance(value, bool):
+        value = [value]
+    if (not isinstance(value, list) or not value
+            or not all(isinstance(v, int) and not isinstance(v, bool)
+                       for v in value)):
+        raise ConfigError(f"{name} must be a non-empty list of integers, "
+                          f"got {value!r}")
+    for v in value:
+        if not (minimum <= v <= maximum):
+            raise ConfigError(f"{name} entries must be in "
+                              f"[{minimum}, {maximum}], got {v}")
+    return tuple(value)
+
+
+def _config_overrides(body: Dict[str, Any]) -> Dict[str, Any]:
+    overrides = body.get("config")
+    if overrides is None:
+        return {}
+    if not isinstance(overrides, dict):
+        raise ConfigError(f"config must be an object of GPUConfig field "
+                          f"overrides, got {overrides!r}")
+    fields = {f.name for f in dataclasses.fields(GPUConfig)}
+    unknown = sorted(set(overrides) - fields)
+    if unknown:
+        raise ConfigError(
+            f"config: unknown GPUConfig field(s) {unknown}")
+    clashing = sorted(set(overrides) & {"num_chiplets", "scale"})
+    if clashing:
+        raise ConfigError(
+            f"config: {clashing} are set by the top-level "
+            f"chiplets/chiplet_counts and scale fields; do not repeat "
+            f"them inside config")
+    return dict(overrides)
+
+
+def _queue_fields(body: Dict[str, Any]) -> Tuple[str, int]:
+    client = _string(body, "client", DEFAULT_CLIENT) or DEFAULT_CLIENT
+    if len(client) > 120:
+        raise ConfigError("client id must be at most 120 characters")
+    priority = _int(body, "priority", 0, -100, 100)
+    return client, priority
+
+
+def _trace_path(body: Dict[str, Any]) -> Optional[str]:
+    from repro.gpu.trace_path import TracePath
+    return _string(body, "trace_path", None,
+                   choices=tuple(p.value for p in TracePath))
+
+
+def _workload_choices() -> Tuple[str, ...]:
+    from repro.workloads.suite import EXTRA_WORKLOADS, WORKLOAD_NAMES
+    return tuple(WORKLOAD_NAMES) + tuple(EXTRA_WORKLOADS)
+
+
+def _protocol_choices() -> Tuple[str, ...]:
+    from repro.coherence.base import protocol_names
+    return tuple(protocol_names())
+
+
+SIMULATE_FIELDS = ("workload", "protocol", "chiplets", "scale", "scheduler",
+                   "trace_path", "config", "priority", "client")
+
+SWEEP_FIELDS = ("workloads", "protocols", "chiplet_counts", "scale",
+                "scheduler", "trace_path", "config", "priority", "client")
+
+
+def parse_simulate(body: Any) -> Submission:
+    """Validate a ``POST /v1/simulate`` body into a one-cell submission."""
+    body = _require_mapping(body)
+    _reject_unknown(body, SIMULATE_FIELDS, "simulate")
+    workload = _string(body, "workload", None,
+                       choices=_workload_choices(), required=True)
+    protocol = _string(body, "protocol", "cpelide",
+                       choices=_protocol_choices())
+    scale = _number(body, "scale", DEFAULT_SCALE, 1e-4, 1.0)
+    chiplets = _int(body, "chiplets", 4, 1, 64)
+    scheduler = _string(body, "scheduler", "static",
+                        choices=("static", "locality"))
+    config = GPUConfig(num_chiplets=chiplets, scale=scale,
+                       **_config_overrides(body))
+    client, priority = _queue_fields(body)
+    spec = SweepSpec(workloads=(workload,), protocols=(protocol,),
+                     configs=(config,), scheduler=scheduler,
+                     trace_path=_trace_path(body))
+    return Submission(spec=spec, client=client, priority=priority)
+
+
+def parse_sweep(body: Any) -> Submission:
+    """Validate a ``POST /v1/sweep`` body into a grid submission."""
+    body = _require_mapping(body)
+    _reject_unknown(body, SWEEP_FIELDS, "sweep")
+    workloads = _string_list(body, "workloads", _workload_choices())
+    protocols = (_string_list(body, "protocols", _protocol_choices())
+                 or DEFAULT_PROTOCOLS)
+    chiplet_counts = _int_list(body, "chiplet_counts", (4,), 1, 64)
+    scale = _number(body, "scale", DEFAULT_SCALE, 1e-4, 1.0)
+    scheduler = _string(body, "scheduler", "static",
+                        choices=("static", "locality"))
+    overrides = _config_overrides(body)
+    base = GPUConfig(scale=scale, **overrides) if overrides else None
+    client, priority = _queue_fields(body)
+    spec = SweepSpec.grid(workloads=workloads, protocols=protocols,
+                          chiplet_counts=chiplet_counts, scale=scale,
+                          scheduler=scheduler, base_config=base,
+                          trace_path=_trace_path(body))
+    if spec.num_jobs > MAX_CELLS_PER_JOB:
+        raise ConfigError(
+            f"sweep expands to {spec.num_jobs} cells, over the per-job "
+            f"limit of {MAX_CELLS_PER_JOB}; split it into smaller "
+            f"submissions (they still dedupe through the shared cache)")
+    return Submission(spec=spec, client=client, priority=priority)

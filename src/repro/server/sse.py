@@ -1,0 +1,97 @@
+"""Server-Sent Events: the ``GET /v1/jobs/{id}/events`` stream.
+
+SSE (``text/event-stream``) over the stdlib server: one long-lived
+response whose body is a sequence of ``event:``/``id:``/``data:``
+frames, consumable with ``curl -N`` or a browser ``EventSource``. The
+stream bridges a job's :class:`~repro.obs.streaming.StreamingTracer`
+(appended to by the worker thread) into the asyncio response: the
+generator drains whatever arrived since its cursor, sleeps briefly, and
+repeats until the job reaches a terminal state *and* the backlog is
+fully flushed, then emits one final ``done`` frame.
+
+Event schema (``data:`` is one JSON object per frame)::
+
+    event: kernel | run | sweep | memo | shard | done
+    id:    <monotone sequence number within the job>
+    data:  {"phase": "...", ...tracepoint args}
+
+Kernel frames arrive in exactly the simulator's emission order — the
+same order :class:`~repro.obs.EventTracer` records — so a streamed
+timeline can be replayed against a recorded one
+(``tests/test_server.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator, Dict
+
+from repro.obs.tracer import Event
+
+__all__ = ["format_frame", "job_event_stream"]
+
+#: Seconds between drain polls while the job is still producing.
+DEFAULT_SSE_POLL_SECONDS = 0.05
+
+#: Comment frame emitted while waiting, so proxies/clients see a live
+#: connection even during long silent stretches (keep-alive).
+HEARTBEAT_EVERY_POLLS = 100
+
+
+def format_frame(event: Event) -> bytes:
+    """One tracer event as an SSE frame."""
+    data = dict(event.args)
+    data["phase"] = event.phase
+    return (f"event: {event.kind}\n"
+            f"id: {event.seq}\n"
+            f"data: {json.dumps(data, sort_keys=True)}\n\n").encode()
+
+
+def done_frame(payload: Dict[str, Any]) -> bytes:
+    """The terminal frame closing every job stream."""
+    return (f"event: done\ndata: "
+            f"{json.dumps(payload, sort_keys=True)}\n\n").encode()
+
+
+async def job_event_stream(job: "Any",
+                           poll_seconds: float = DEFAULT_SSE_POLL_SECONDS,
+                           ) -> AsyncIterator[bytes]:
+    """Async byte-chunk iterator over one job's live event feed.
+
+    ``job`` is a :class:`~repro.server.queue.Job`; the stream works for
+    queued, running, and already-finished jobs alike (a finished job
+    replays its whole buffered feed, then closes — SSE consumers that
+    connect late still see every frame).
+    """
+    cursor = 0
+    idle_polls = 0
+    while True:
+        cursor, events = job.tracer.drain(cursor)
+        for event in events:
+            yield format_frame(event)
+        if job.terminal:
+            # Drain once more: the worker thread may have appended
+            # between our drain and the state read.
+            cursor, events = job.tracer.drain(cursor)
+            for event in events:
+                yield format_frame(event)
+            payload: Dict[str, Any] = {
+                "state": job.state,
+                "cells_done": job.tracer.cells_done,
+                "kernels_done": job.tracer.kernels_done,
+                "events": cursor,
+            }
+            if job.tracer.dropped:
+                payload["events_dropped"] = job.tracer.dropped
+            if job.error is not None:
+                payload["error"] = job.error
+            yield done_frame(payload)
+            return
+        if events:
+            idle_polls = 0
+        else:
+            idle_polls += 1
+            if idle_polls % HEARTBEAT_EVERY_POLLS == 0:
+                yield b": keep-alive\n\n"
+        await asyncio.sleep(poll_seconds)

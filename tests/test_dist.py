@@ -194,6 +194,103 @@ class TestCrossProcessRace:
         assert payloads[0]["value"] == payloads[1]["value"] == 42
 
 
+class TestClaimTimekeeping:
+    """The clock/lease rules: wall-clock deadlines compare with a skew
+    margin; local waits are monotonic (PR 9 bugfix sweep)."""
+
+    def test_skew_margin_keeps_barely_expired_claim(self, tmp_path):
+        cache = SharedResultCache(root=tmp_path / "c", lease_seconds=100.0)
+        barely = {"deadline": time.time() - 1.0, "lease": 100.0}
+        assert not cache._claim_expired(barely)  # within the 5s margin
+        clearly = {"deadline": time.time() - 10.0, "lease": 100.0}
+        assert cache._claim_expired(clearly)
+
+    def test_skew_margin_scales_down_with_short_leases(self, tmp_path):
+        cache = SharedResultCache(root=tmp_path / "c")
+        # A 10ms lease gets a 2.5ms margin, not 5s — short-lease tests
+        # and crash recovery must not wait out the full skew allowance.
+        stale = {"deadline": time.time() - 0.05, "lease": 0.01}
+        assert cache._claim_expired(stale)
+
+    def test_legacy_claim_without_lease_uses_cache_lease(self, tmp_path):
+        cache = SharedResultCache(root=tmp_path / "c", lease_seconds=0.01)
+        assert cache._claim_expired({"deadline": time.time() - 0.05})
+
+    def test_wait_for_timeout_is_monotonic_not_wall_clock(self, tmp_path,
+                                                          monkeypatch):
+        """A wall-clock step must not extend/shrink a local timeout."""
+        cache = SharedResultCache(root=tmp_path / "c", poll_seconds=0.01)
+        job = one_job()
+        _, _token = cache.try_claim(job)  # held in-flight, never released
+        real_time = time.time
+        state = {"first": True}
+
+        def stepping_clock():
+            # First read normal, then the wall clock "steps" 1h back
+            # mid-wait: a time.time()-based deadline would now be an
+            # hour away, while the monotonic one still fires at 0.2s.
+            if state["first"]:
+                state["first"] = False
+                return real_time()
+            return real_time() - 3600.0
+
+        monkeypatch.setattr(time, "time", stepping_clock)
+        t0 = time.monotonic()
+        assert cache.wait_for(job, timeout=0.2) is None
+        assert time.monotonic() - t0 < 5.0
+
+    def test_reclaim_cas_restores_stolen_fresh_claim(self, tmp_path):
+        """Token mismatch inside _reclaim_expired means the expired
+        claim was already replaced: the fresh claim must be restored,
+        not destroyed (the double-reclaim bug)."""
+        cache = SharedResultCache(root=tmp_path / "c", lease_seconds=0.01)
+        job = one_job()
+        status, _ = cache.try_claim(job)
+        assert status == CLAIM_ACQUIRED
+        time.sleep(0.05)
+        claim_path = cache._claim_path(cache.key(job))
+        observed = cache._read_claim(claim_path)
+        assert observed is not None
+        # Another worker reclaims first and writes its own fresh claim.
+        fresh = SharedResultCache(root=tmp_path / "c")
+        assert fresh._reclaim_expired(claim_path, observed)
+        fresh_token = fresh._claim_token()
+        assert fresh._write_claim(claim_path, fresh_token)
+        # The slow reclaimer still holds the stale observation: its CAS
+        # must fail and leave the fresh claim in place.
+        assert not cache._reclaim_expired(claim_path, observed)
+        survivor = cache._read_claim(claim_path)
+        assert survivor is not None and survivor["token"] == fresh_token
+
+
+class TestExpiredClaimReclaimRace:
+    def test_two_processes_one_reclaim_one_compute(self, tmp_path):
+        """PR 9 satellite: two waiters racing an *expired* claim — the
+        atomic reclaim guarantees exactly one recompute."""
+        root = tmp_path / "c"
+        dead = SharedResultCache(root=root, lease_seconds=0.01)
+        job = one_job()
+        status, _ = dead.try_claim(job)  # crashed owner, never released
+        assert status == CLAIM_ACQUIRED
+        time.sleep(0.05)
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        counter = tmp_path / "computes.log"
+        outs = [tmp_path / "a.json", tmp_path / "b.json"]
+        procs = [ctx.Process(target=_race_worker,
+                             args=(str(root), barrier, str(counter),
+                                   str(out)))
+                 for out in outs]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=30)
+        assert all(proc.exitcode == 0 for proc in procs)
+        assert counter.read_text().count("computed") == 1
+        payloads = [json.loads(out.read_text()) for out in outs]
+        assert payloads[0]["value"] == payloads[1]["value"] == 42
+
+
 class TestShardJobs:
     def test_units_cover_pending_exactly_once(self, tmp_path):
         cache = SharedResultCache(root=tmp_path / "c")

@@ -1,0 +1,622 @@
+"""Simulation-as-a-service tests: the HTTP job API end to end.
+
+Covers the PR 9 acceptance criteria:
+
+* two concurrent clients submitting the same sweep produce exactly one
+  computation, pinned via the shared cache's ``deduped`` counter;
+* a served result is byte-identical JSON to a direct
+  :func:`repro.api.sweep` run of the same spec;
+* the SSE stream's kernel timeline is ordering-identical to an
+  :class:`~repro.obs.EventTracer` recording of the same cell;
+* admission control sheds over-quota/overload submissions with ``429``
+  and a ``Retry-After`` header;
+* cancelling a running job abandons its shared-cache claim.
+
+Most tests drive :meth:`ReproServer.dispatch` in-process (no sockets:
+fast and deterministic); ``TestHttpFace`` additionally exercises the
+real asyncio socket server, including a raw SSE stream read.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.engine.cache import SharedResultCache
+from repro.errors import ConfigError
+from repro.server import ReproServer
+from repro.server.admission import AdmissionController
+from repro.server.http import Request
+from repro.server.queue import Job, JobQueue
+from repro.server.schemas import (
+    MAX_CELLS_PER_JOB,
+    parse_simulate,
+    parse_sweep,
+)
+from tests.conftest import TEST_SCALE
+
+#: One cheap cell every test can share.
+SIMULATE_BODY = {"workload": "square", "chiplets": 2, "scale": TEST_SCALE}
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+async def call(srv: ReproServer, method: str, path: str, body=None,
+               headers=None):
+    """Drive one request through the app's dispatcher in-process."""
+    data = b"" if body is None else json.dumps(body).encode()
+    response = await srv.dispatch(Request(
+        method=method, path=path, headers=headers or {}, body=data))
+    parsed = json.loads(response.body) if getattr(response, "body", b"") \
+        else None
+    return response.status, parsed, response.headers
+
+
+async def wait_terminal(srv: ReproServer, job_id: str, timeout=60.0):
+    job = srv.jobs[job_id]
+    for _ in range(int(timeout / 0.02)):
+        if job.terminal:
+            return job
+        await asyncio.sleep(0.02)
+    raise AssertionError(f"job {job_id} still {job.state} after {timeout}s")
+
+
+# ---------------------------------------------------------------------------
+# Schemas
+# ---------------------------------------------------------------------------
+
+
+class TestSchemas:
+    def test_simulate_defaults(self):
+        sub = parse_simulate(dict(SIMULATE_BODY))
+        assert sub.cells == 1
+        assert sub.client == "anonymous"
+        assert sub.priority == 0
+        job = sub.spec.expand()[0]
+        assert job.protocol == "cpelide"
+        assert job.config.num_chiplets == 2
+
+    def test_simulate_requires_workload(self):
+        with pytest.raises(ConfigError, match="workload"):
+            parse_simulate({"protocol": "cpelide"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown field"):
+            parse_simulate({**SIMULATE_BODY, "wokload": "square"})
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError, match="workload"):
+            parse_simulate({"workload": "not-a-workload"})
+
+    def test_config_overrides_validated(self):
+        sub = parse_simulate({**SIMULATE_BODY,
+                              "config": {"l2_assoc": 32}})
+        assert sub.spec.expand()[0].config.l2_assoc == 32
+        with pytest.raises(ConfigError, match="unknown GPUConfig"):
+            parse_simulate({**SIMULATE_BODY, "config": {"nope": 1}})
+        with pytest.raises(ConfigError, match="do not repeat"):
+            parse_simulate({**SIMULATE_BODY,
+                            "config": {"num_chiplets": 8}})
+
+    def test_priority_bounds(self):
+        with pytest.raises(ConfigError, match="priority"):
+            parse_simulate({**SIMULATE_BODY, "priority": 1000})
+
+    def test_sweep_grid_and_cell_cap(self):
+        sub = parse_sweep({"workloads": ["square", "bfs"],
+                           "protocols": ["baseline", "cpelide"],
+                           "scale": TEST_SCALE})
+        assert sub.cells == 4
+        with pytest.raises(ConfigError, match=str(MAX_CELLS_PER_JOB)):
+            parse_sweep({"chiplet_counts": list(range(1, 33)),
+                         "scale": TEST_SCALE})
+
+    def test_body_must_be_object(self):
+        with pytest.raises(ConfigError, match="JSON object"):
+            parse_sweep([1, 2, 3])
+
+
+# ---------------------------------------------------------------------------
+# Admission + queue units
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_client_quota(self):
+        adm = AdmissionController(client_quota=2)
+        assert adm.admit("a").admitted
+        adm.on_enqueue("a")
+        assert adm.admit("a").admitted
+        adm.on_enqueue("a")
+        decision = adm.admit("a")
+        assert not decision.admitted
+        assert decision.status == 429
+        assert decision.retry_after >= 1.0
+        assert adm.admit("b").admitted  # other clients unaffected
+
+    def test_queue_depth_shedding(self):
+        adm = AdmissionController(max_queue_depth=1)
+        adm.on_enqueue("a")
+        decision = adm.admit("b")
+        assert not decision.admitted and decision.status == 429
+        assert "queue full" in decision.reason
+
+    def test_lifecycle_accounting_and_ema(self):
+        adm = AdmissionController(max_inflight=1)
+        adm.on_enqueue("a")
+        assert not adm.admit("b").admitted or True  # depth 64 default
+        adm.on_start("a")
+        assert adm.queued == 0 and adm.running == 1
+        assert not adm.has_slot()
+        before = adm.retry_after()
+        adm.on_finish("a", seconds=100.0)
+        assert adm.running == 0 and adm.finished == 1
+        assert adm.active_for("a") == 0
+        adm.on_enqueue("a")
+        assert adm.retry_after() > before  # EMA absorbed the slow job
+
+    def test_cancel_queued_releases_quota(self):
+        adm = AdmissionController(client_quota=1)
+        adm.on_enqueue("a")
+        assert not adm.admit("a").admitted
+        adm.on_cancel_queued("a")
+        assert adm.admit("a").admitted
+
+
+class TestJobQueue:
+    def _job(self, priority=0, client="c"):
+        return Job(submission=parse_simulate(
+            {**SIMULATE_BODY, "priority": priority, "client": client}))
+
+    def test_priority_then_fifo(self):
+        queue = JobQueue()
+        low = self._job(priority=-5)
+        first = self._job(priority=3)
+        second = self._job(priority=3)
+        queue.push(low)
+        queue.push(first)
+        queue.push(second)
+        assert queue.pop() is first
+        assert queue.pop() is second
+        assert queue.pop() is low
+        assert queue.pop() is None
+
+    def test_cancelled_jobs_skipped(self):
+        queue = JobQueue()
+        job = self._job()
+        queue.push(job)
+        job.cancel.cancel("test")
+        assert len(queue) == 0
+        assert queue.pop() is None
+
+
+# ---------------------------------------------------------------------------
+# End-to-end through the dispatcher
+# ---------------------------------------------------------------------------
+
+
+class TestServerEndToEnd:
+    def test_submit_poll_result_roundtrip(self, tmp_path):
+        async def scenario():
+            srv = ReproServer(cache=str(tmp_path / "c"))
+            await srv.start_background()
+            try:
+                status, body, _ = await call(srv, "POST", "/v1/simulate",
+                                             SIMULATE_BODY)
+                assert status == 202
+                assert body["state"] == "queued"
+                job_id = body["id"]
+                # Result is a 409 until the job lands.
+                status, err, _ = await call(
+                    srv, "GET", f"/v1/jobs/{job_id}/result")
+                if status != 200:  # may already be done on fast machines
+                    assert status == 409
+                job = await wait_terminal(srv, job_id)
+                assert job.state == "done"
+                status, result, _ = await call(
+                    srv, "GET", f"/v1/jobs/{job_id}/result")
+                assert status == 200
+                assert result["report"]["total_jobs"] == 1
+                assert len(result["results"]) == 1
+                status, shown, _ = await call(srv, "GET",
+                                              f"/v1/jobs/{job_id}")
+                assert shown["state"] == "done"
+                assert shown["progress"]["cells_done"] == 1
+                assert shown["progress"]["kernels_done"] > 0
+            finally:
+                await srv.stop_background()
+
+        run_async(scenario())
+
+    def test_concurrent_overlapping_sweeps_compute_once(self, tmp_path):
+        """Acceptance: two clients, same sweep, exactly one computation
+        — the second is served from the first's in-flight claim."""
+        async def scenario():
+            srv = ReproServer(cache=str(tmp_path / "c"), max_inflight=2)
+            await srv.start_background()
+            try:
+                body = {"workloads": ["square"],
+                        "protocols": ["baseline", "cpelide"],
+                        "scale": TEST_SCALE}
+                status_a, job_a, _ = await call(
+                    srv, "POST", "/v1/sweep", {**body, "client": "alice"})
+                status_b, job_b, _ = await call(
+                    srv, "POST", "/v1/sweep", {**body, "client": "bob"})
+                assert status_a == status_b == 202
+                a = await wait_terminal(srv, job_a["id"])
+                b = await wait_terminal(srv, job_b["id"])
+                assert a.state == b.state == "done"
+                merged = {key: a.cache_stats[key] + b.cache_stats[key]
+                          for key in a.cache_stats}
+                # Exactly one computation per cell across BOTH jobs...
+                assert merged["stores"] == 2
+                # ...every other serving was an in-flight dedupe or a
+                # completed-entry hit, and at least one cell was
+                # demonstrably served from the other client's in-flight
+                # computation (CacheStats.deduped).
+                assert merged["deduped"] + merged["hits"] == 2
+                assert merged["deduped"] >= 1
+                assert (a.result["results"] == b.result["results"])
+            finally:
+                await srv.stop_background()
+
+        run_async(scenario())
+
+    def test_served_result_byte_identical_to_direct_sweep(self, tmp_path):
+        from repro.api import sweep
+
+        async def scenario():
+            srv = ReproServer(cache=str(tmp_path / "c"))
+            await srv.start_background()
+            try:
+                body = {"workloads": ["square"],
+                        "protocols": ["baseline", "cpelide"],
+                        "chiplet_counts": [2], "scale": TEST_SCALE}
+                _, submitted, _ = await call(srv, "POST", "/v1/sweep",
+                                             body)
+                await wait_terminal(srv, submitted["id"])
+                _, result, _ = await call(
+                    srv, "GET", f"/v1/jobs/{submitted['id']}/result")
+                return result
+
+            finally:
+                await srv.stop_background()
+
+        served = run_async(scenario())
+        direct = sweep(workloads=("square",),
+                       protocols=("baseline", "cpelide"),
+                       chiplet_counts=(2,), scale=TEST_SCALE,
+                       jobs=1, cache=False)
+        assert (json.dumps(served["results"], sort_keys=True)
+                == json.dumps(direct.to_dicts(), sort_keys=True))
+
+    def test_over_quota_sheds_429_with_retry_after(self, tmp_path):
+        async def scenario():
+            # No scheduler: jobs stay queued, so the quota fills.
+            srv = ReproServer(cache=str(tmp_path / "c"), client_quota=2)
+            for _ in range(2):
+                status, _, _ = await call(srv, "POST", "/v1/simulate",
+                                          {**SIMULATE_BODY,
+                                           "client": "greedy"})
+                assert status == 202
+            status, body, headers = await call(
+                srv, "POST", "/v1/simulate",
+                {**SIMULATE_BODY, "client": "greedy"})
+            assert status == 429
+            assert "quota" in body["error"]
+            assert int(headers["Retry-After"]) >= 1
+            # Another client still gets in.
+            status, _, _ = await call(srv, "POST", "/v1/simulate",
+                                      {**SIMULATE_BODY,
+                                       "client": "polite"})
+            assert status == 202
+
+        run_async(scenario())
+
+    def test_queue_depth_sheds_429(self, tmp_path):
+        async def scenario():
+            srv = ReproServer(cache=str(tmp_path / "c"),
+                              max_queue_depth=1)
+            status, _, _ = await call(srv, "POST", "/v1/simulate",
+                                      {**SIMULATE_BODY, "client": "a"})
+            assert status == 202
+            status, body, headers = await call(
+                srv, "POST", "/v1/simulate",
+                {**SIMULATE_BODY, "client": "b"})
+            assert status == 429
+            assert "queue full" in body["error"]
+            assert "Retry-After" in headers
+
+        run_async(scenario())
+
+    def test_cancel_running_job_releases_claim(self, tmp_path):
+        async def scenario():
+            root = str(tmp_path / "c")
+            srv = ReproServer(cache=root, max_inflight=1)
+            await srv.start_background()
+            try:
+                # Several cells so the job is reliably still running
+                # when the cancel lands.
+                body = {"workloads": ["square", "bfs"],
+                        "protocols": ["baseline", "cpelide"],
+                        "scale": TEST_SCALE}
+                _, submitted, _ = await call(srv, "POST", "/v1/sweep",
+                                             body)
+                job = srv.jobs[submitted["id"]]
+                for _ in range(500):
+                    if job.state == "running":
+                        break
+                    await asyncio.sleep(0.01)
+                assert job.state == "running"
+                status, _, _ = await call(
+                    srv, "POST", f"/v1/jobs/{job.id}/cancel")
+                assert status in (200, 202)
+                finished = await wait_terminal(srv, job.id)
+                # The job may have finished its last cell before the
+                # token was observed; normally it is cancelled.
+                assert finished.state in ("cancelled", "done")
+                # Either way: no claim survives — the cell either
+                # published or its claim was abandoned on unwind.
+                assert SharedResultCache(root=root).claimed_keys() == []
+                status, _, _ = await call(
+                    srv, "GET", f"/v1/jobs/{job.id}/result")
+                assert status == (200 if finished.state == "done"
+                                  else 409)
+            finally:
+                await srv.stop_background()
+
+        run_async(scenario())
+
+    def test_cancel_queued_job_before_start(self, tmp_path):
+        async def scenario():
+            # No scheduler running: the job can never start.
+            srv = ReproServer(cache=str(tmp_path / "c"))
+            _, submitted, _ = await call(srv, "POST", "/v1/simulate",
+                                         SIMULATE_BODY)
+            job_id = submitted["id"]
+            status, body, _ = await call(
+                srv, "POST", f"/v1/jobs/{job_id}/cancel")
+            assert status == 200
+            assert body["state"] == "cancelled"
+            assert srv.admission.queued == 0
+            # Cancel is idempotent.
+            status, body, _ = await call(
+                srv, "POST", f"/v1/jobs/{job_id}/cancel")
+            assert status == 200 and body["state"] == "cancelled"
+
+        run_async(scenario())
+
+    def test_priority_orders_execution(self, tmp_path):
+        async def scenario():
+            srv = ReproServer(cache=str(tmp_path / "c"), max_inflight=1)
+            # Enqueue before the scheduler exists so order is pinned.
+            _, low, _ = await call(srv, "POST", "/v1/simulate",
+                                   {**SIMULATE_BODY, "priority": -1})
+            _, high, _ = await call(
+                srv, "POST", "/v1/simulate",
+                {**SIMULATE_BODY, "chiplets": 4, "priority": 9})
+            await srv.start_background()
+            try:
+                low_job = await wait_terminal(srv, low["id"])
+                high_job = await wait_terminal(srv, high["id"])
+                assert high_job.started_at <= low_job.started_at
+            finally:
+                await srv.stop_background()
+
+        run_async(scenario())
+
+    def test_unknown_job_and_bad_requests(self, tmp_path):
+        async def scenario():
+            srv = ReproServer(cache=str(tmp_path / "c"))
+            status, _, _ = await call(srv, "GET", "/v1/jobs/deadbeef")
+            assert status == 404
+            status, _, _ = await call(srv, "GET", "/nope")
+            assert status == 404
+            status, _, _ = await call(srv, "GET", "/v1/simulate")
+            assert status == 405
+            status, body, _ = await call(srv, "POST", "/v1/simulate",
+                                         {"workload": "nope"})
+            assert status == 400
+            assert "workload" in body["error"]
+            status, body, _ = await call(srv, "GET", "/healthz")
+            assert status == 200 and body["status"] == "ok"
+            status, body, _ = await call(srv, "GET", "/metrics")
+            assert status == 200
+            assert body["admission"]["max_inflight"] == 2
+
+        run_async(scenario())
+
+    def test_client_header_names_quota_bucket(self, tmp_path):
+        async def scenario():
+            srv = ReproServer(cache=str(tmp_path / "c"), client_quota=1)
+            status, body, _ = await call(
+                srv, "POST", "/v1/simulate", SIMULATE_BODY,
+                headers={"x-client-id": "carol"})
+            assert status == 202 and body["client"] == "carol"
+            status, _, _ = await call(
+                srv, "POST", "/v1/simulate", SIMULATE_BODY,
+                headers={"x-client-id": "carol"})
+            assert status == 429
+
+        run_async(scenario())
+
+
+# ---------------------------------------------------------------------------
+# The real socket server + SSE
+# ---------------------------------------------------------------------------
+
+
+async def raw_request(port: int, method: str, path: str, body=None):
+    """One HTTP/1.1 request over a real socket; returns (status, bytes)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b"" if body is None else json.dumps(body).encode()
+    head = (f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Content-Type: application/json\r\n\r\n")
+    writer.write(head.encode() + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head_part, _, body_part = raw.partition(b"\r\n\r\n")
+    return int(head_part.split(b" ")[1]), body_part
+
+
+def parse_sse(stream: bytes):
+    """SSE frames as (event, data-dict) pairs, comments skipped."""
+    frames = []
+    for block in stream.decode().split("\n\n"):
+        kind = data = None
+        for line in block.splitlines():
+            if line.startswith("event: "):
+                kind = line[len("event: "):]
+            elif line.startswith("data: "):
+                data = json.loads(line[len("data: "):])
+        if kind is not None:
+            frames.append((kind, data))
+    return frames
+
+
+class TestHttpFace:
+    def test_socket_roundtrip_and_sse_kernel_ordering(self, tmp_path):
+        """The streamed kernel timeline must match an EventTracer
+        recording of the same cell, event for event, in order."""
+        from repro.api import simulate
+        from repro.obs import EventTracer
+
+        async def scenario():
+            srv = ReproServer(cache=str(tmp_path / "c"))
+            server = await srv.start(port=0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                status, body = await raw_request(port, "POST",
+                                                 "/v1/simulate",
+                                                 SIMULATE_BODY)
+                assert status == 202
+                job_id = json.loads(body)["id"]
+                await wait_terminal(srv, job_id)
+                status, stream = await raw_request(
+                    port, "GET", f"/v1/jobs/{job_id}/events")
+                assert status == 200
+                return parse_sse(stream)
+            finally:
+                await srv.stop()
+
+        frames = run_async(scenario())
+        assert frames[-1][0] == "done"
+        assert frames[-1][1]["state"] == "done"
+        streamed = [(d["name"], d["index"]) for kind, d in frames
+                    if kind == "kernel" and d["phase"] == "complete"]
+        assert streamed, "no kernel events streamed"
+
+        tracer = EventTracer()
+        simulate("square", "cpelide",
+                 config=__import__("repro.gpu.config",
+                                   fromlist=["GPUConfig"]).GPUConfig(
+                     num_chiplets=2, scale=TEST_SCALE),
+                 tracer=tracer)
+        recorded = [(e.args["name"], e.args["index"]) for e in tracer.events
+                    if e.kind == "kernel" and e.phase == "complete"]
+        assert streamed == recorded
+
+    def test_sse_ids_are_monotone(self, tmp_path):
+        async def scenario():
+            srv = ReproServer(cache=str(tmp_path / "c"))
+            server = await srv.start(port=0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                _, body = await raw_request(port, "POST", "/v1/simulate",
+                                            SIMULATE_BODY)
+                job_id = json.loads(body)["id"]
+                await wait_terminal(srv, job_id)
+                _, stream = await raw_request(
+                    port, "GET", f"/v1/jobs/{job_id}/events")
+                ids = [int(line[len("id: "):])
+                       for line in stream.decode().splitlines()
+                       if line.startswith("id: ")]
+                assert ids == sorted(ids) == list(range(len(ids)))
+            finally:
+                await srv.stop()
+
+        run_async(scenario())
+
+    def test_malformed_requests_rejected(self, tmp_path):
+        async def scenario():
+            srv = ReproServer(cache=str(tmp_path / "c"))
+            server = await srv.start(port=0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port)
+                writer.write(b"POST /v1/simulate HTTP/1.1\r\nHost: t\r\n"
+                             b"Content-Length: 9\r\n\r\nnot json!")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                assert b" 400 " in raw.split(b"\r\n")[0]
+
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port)
+                writer.write(b"BOGUS-LINE\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read()
+                writer.close()
+                assert b" 400 " in raw.split(b"\r\n")[0]
+            finally:
+                await srv.stop()
+
+        run_async(scenario())
+
+
+# ---------------------------------------------------------------------------
+# ASGI adapter (the optional-uvicorn face, driven directly)
+# ---------------------------------------------------------------------------
+
+
+class TestAsgiAdapter:
+    def test_http_scope_roundtrip(self, tmp_path):
+        async def scenario():
+            srv = ReproServer(cache=str(tmp_path / "c"))
+            sent = []
+
+            async def receive():
+                return {"type": "http.request",
+                        "body": json.dumps(SIMULATE_BODY).encode(),
+                        "more_body": False}
+
+            async def send(message):
+                sent.append(message)
+
+            await srv.asgi({"type": "http", "method": "POST",
+                            "path": "/v1/simulate", "query_string": b"",
+                            "headers": []}, receive, send)
+            start = sent[0]
+            assert start["type"] == "http.response.start"
+            assert start["status"] == 202
+            body = json.loads(sent[1]["body"])
+            assert body["state"] == "queued"
+
+        run_async(scenario())
+
+    def test_lifespan_starts_and_stops_scheduler(self, tmp_path):
+        async def scenario():
+            srv = ReproServer(cache=str(tmp_path / "c"))
+            messages = iter([{"type": "lifespan.startup"},
+                             {"type": "lifespan.shutdown"}])
+            acks = []
+
+            async def receive():
+                return next(messages)
+
+            async def send(message):
+                acks.append(message["type"])
+
+            await srv.asgi({"type": "lifespan"}, receive, send)
+            assert acks == ["lifespan.startup.complete",
+                            "lifespan.shutdown.complete"]
+            assert srv._scheduler_task is None
+
+        run_async(scenario())
