@@ -23,10 +23,18 @@ Quick start (the :mod:`repro.api` facade is the documented entry point)::
 from repro.coherence import (
     BaselineProtocol,
     CPElideProtocol,
+    CPElideTimestampProtocol,
     HMGProtocol,
+    LeaseLedger,
     MonolithicProtocol,
+    ProtocolSpec,
+    TimestampProtocol,
+    get_protocol,
     make_protocol,
     protocol_names,
+    protocols,
+    register_protocol,
+    unregister_protocol,
 )
 from repro.core import ChipletCoherenceTable, ChipletState, ElisionEngine
 from repro.cp import AccessMode, KernelPacket, Placement
@@ -104,9 +112,17 @@ __all__ = [
     "trace_sync_ops",
     "format_table",
     "geomean",
+    "CPElideTimestampProtocol",
+    "LeaseLedger",
+    "ProtocolSpec",
+    "TimestampProtocol",
+    "get_protocol",
     "make_protocol",
     "monolithic_equivalent",
     "protocol_names",
+    "protocols",
+    "register_protocol",
+    "unregister_protocol",
     "ResultCache",
     "SweepReport",
     "SweepResult",

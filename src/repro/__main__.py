@@ -472,7 +472,8 @@ def cmd_explore(args) -> int:
         l2_mb=l2_mb, workloads=tuple(args.workloads) if args.workloads
         else explore_experiment.DEFAULT_SEED_WORKLOADS,
         rungs=rungs, workers=args.workers, cache=cache,
-        progress=_progress)
+        progress=_progress, protocol=args.protocol,
+        leases=tuple(args.lease_kernels) if args.lease_kernels else None)
     print(result.render())
     if args.out:
         import json
@@ -736,6 +737,16 @@ def main(argv=None) -> int:
                            help="fidelity ladder: simulation scale per "
                                 "successive-halving rung (default "
                                 "1/64 1/32 1/16)")
+    explore_p.add_argument("--protocol", default="cpelide",
+                           choices=protocol_names(),
+                           help="measured protocol, scored against "
+                                "baseline at every design point "
+                                "(default cpelide)")
+    explore_p.add_argument("--lease-kernels", nargs="+", type=int,
+                           default=None,
+                           help="add the lease length (kernel epochs) as "
+                                "a search axis — meaningful with the "
+                                "timestamp protocols (e.g. 2 4 8)")
     explore_p.add_argument("--workers", type=int, default=2,
                            help="distributed workers per rung (default 2)")
     explore_p.add_argument("--cache-dir", default=None,
@@ -779,7 +790,8 @@ def main(argv=None) -> int:
                          choices=WORKLOAD_NAMES + EXTRA_WORKLOADS,
                          help="workload subset (default: all 24)")
     check_p.add_argument("--protocols", nargs="+",
-                         default=["baseline", "hmg", "cpelide"],
+                         default=["baseline", "hmg", "cpelide",
+                                  "timestamp", "cpelide-ts"],
                          choices=protocol_names())
     check_p.add_argument("--trace-paths", nargs="+",
                          default=list(TRACE_PATH_CHOICES),

@@ -16,9 +16,22 @@ from here instead of reaching into ``repro.gpu``, ``repro.workloads``,
     print(res.get("square", "cpelide").wall_cycles)
     print(res.report.summary())
 
+Coherence protocols are first-class (api version 4.0): they are
+described by frozen :class:`~repro.coherence.registry.ProtocolSpec`
+records, enumerated with :func:`protocols`, and extended with
+:func:`register_protocol` — a registered protocol is immediately
+simulatable, sweepable, visible to the CLIs, and served by the HTTP
+API's ``GET /v1/protocols``::
+
+    from repro.api import ProtocolSpec, register_protocol, simulate
+
+    register_protocol(ProtocolSpec(name="mine", factory=MyProtocol,
+                                   description="my experiment"))
+    result = simulate("babelstream", protocol="mine")
+
 The commonly-needed building blocks (:class:`GPUConfig`,
-:func:`build_workload`, :func:`protocol_names`, :class:`HipRuntime`, …)
-are re-exported so one import serves a typical script.
+:func:`build_workload`, :class:`HipRuntime`, …) are re-exported so one
+import serves a typical script.
 
 This surface is versioned: :data:`__api_version__` bumps whenever a
 documented signature changes. Everything in ``__all__`` is stable;
@@ -31,7 +44,14 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Union
 
-from repro.coherence.base import make_protocol, protocol_names
+from repro.coherence.base import make_protocol
+from repro.coherence.registry import (
+    ProtocolSpec,
+    get_protocol,
+    protocols,
+    register_protocol,
+    unregister_protocol,
+)
 from repro.errors import (
     CacheError,
     ConfigError,
@@ -77,12 +97,19 @@ from repro.workloads.suite import (
     build_workload,
 )
 
-#: Version of the documented :mod:`repro.api` surface. Bumped to ``3.2``
-#: with simulation-as-a-service: :func:`serve` runs the
-#: :class:`~repro.server.ReproServer` HTTP job API (async submissions,
-#: SSE progress streams, admission control) over the same
-#: :class:`~repro.engine.cache.SharedResultCache` the distributed
-#: engine uses. ``3.1`` added the distributed engine:
+#: Version of the documented :mod:`repro.api` surface. Bumped to ``4.0``
+#: with the first-class protocol registry: frozen
+#: :class:`~repro.coherence.registry.ProtocolSpec` records,
+#: :func:`protocols`/:func:`register_protocol`/:func:`unregister_protocol`,
+#: ``simulate(protocol=...)`` accepting a spec as well as a name,
+#: :class:`~repro.errors.ConfigError` on unknown protocol names
+#: everywhere (CLI, engine specs, server admission), and
+#: ``protocol_names`` demoted to a deprecation shim (enumerate
+#: :func:`protocols` instead). ``3.2`` added simulation-as-a-service:
+#: :func:`serve` runs the :class:`~repro.server.ReproServer` HTTP job
+#: API (async submissions, SSE progress streams, admission control)
+#: over the same :class:`~repro.engine.cache.SharedResultCache` the
+#: distributed engine uses. ``3.1`` added the distributed engine:
 #: ``sweep(workers=...)`` routes through
 #: :class:`~repro.engine.dist.DistSweepRunner` over a shared result
 #: store with in-flight dedupe. ``3.0`` added the :class:`TracePath`
@@ -92,7 +119,7 @@ from repro.workloads.suite import (
 #: keyword-only ``simulate``/``sweep`` signatures, the
 #: ``trace_path=``/``tracer=`` parameters, and the :mod:`repro.errors`
 #: hierarchy.
-__api_version__ = "3.2"
+__api_version__ = "4.0"
 
 __all__ = [
     "CacheError",
@@ -110,6 +137,7 @@ __all__ = [
     "MetricRegistry",
     "NULL_TRACER",
     "OracleDivergence",
+    "ProtocolSpec",
     "ReproError",
     "ResultCache",
     "SharedResultCache",
@@ -126,12 +154,15 @@ __all__ = [
     "build_workload",
     "default_cache_dir",
     "default_config",
+    "get_protocol",
     "make_protocol",
     "monolithic_equivalent",
-    "protocol_names",
+    "protocols",
+    "register_protocol",
     "serve",
     "simulate",
     "sweep",
+    "unregister_protocol",
     "write_trace",
 ]
 
@@ -159,12 +190,22 @@ _DEEP_IMPORT_SHIMS = {
 
 def __getattr__(name: str):
     """Deprecation shim for legacy deep-import names (PEP 562)."""
+    import warnings
+
+    if name == "protocol_names":
+        # Stable through 3.x; superseded by the ProtocolSpec registry.
+        warnings.warn(
+            "repro.api.protocol_names is deprecated since api version "
+            "4.0; enumerate repro.api.protocols() (ProtocolSpec records "
+            "carry the names plus factory/description/knob metadata)",
+            DeprecationWarning, stacklevel=2)
+        from repro.coherence.registry import protocol_names
+        return protocol_names
     target = _DEEP_IMPORT_SHIMS.get(name)
     if target is None:
         raise AttributeError(
             f"module 'repro.api' has no attribute {name!r}")
     import importlib
-    import warnings
 
     warnings.warn(
         f"repro.api.{name} is deprecated; import it from its canonical "
@@ -184,7 +225,7 @@ def default_config(num_chiplets: int = 4, scale: float = DEFAULT_SCALE,
 
 
 def simulate(workload: Union[str, Workload],
-             protocol: str = "cpelide",
+             protocol: Union[str, ProtocolSpec] = "cpelide",
              *,
              config: Optional[GPUConfig] = None,
              scheduler: str = "static",
@@ -201,6 +242,14 @@ def simulate(workload: Union[str, Workload],
     stable cache identity, so combining one with ``cache=True`` raises
     :class:`~repro.errors.ConfigError`).
 
+    ``protocol`` is a registry name or a :class:`ProtocolSpec` (api
+    version 4.0). A spec that is currently registered under its name is
+    equivalent to passing the name; an *unregistered* spec runs directly
+    through its factory — which, like a :class:`Workload` instance, has
+    no stable cache identity, so combining one with ``cache=True``
+    raises :class:`~repro.errors.ConfigError`. Unknown protocol names
+    raise :class:`~repro.errors.ConfigError` as well.
+
     All optional parameters are keyword-only (api version 2.0).
     ``trace_path`` selects the trace representation — a
     :class:`TracePath` member or its string value (``"line"``/``"run"``/
@@ -209,15 +258,38 @@ def simulate(workload: Union[str, Workload],
     observer; results are bit-identical with or without it.
     """
     config = config or default_config()
-    if isinstance(workload, Workload):
+    factory = None
+    if isinstance(protocol, ProtocolSpec):
+        spec_obj = protocol
+        try:
+            registered = get_protocol(spec_obj.name)
+        except ConfigError:
+            registered = None
+        if registered == spec_obj:
+            protocol = spec_obj.name
+        else:
+            if cache:
+                raise ConfigError(
+                    f"simulate(cache=...) requires a registered protocol: "
+                    f"spec {spec_obj.name!r} is not (or no longer) the "
+                    f"registered spec of that name, so results have no "
+                    f"stable cache identity. register_protocol() it, or "
+                    f"drop cache.")
+            factory = spec_obj.build
+    elif not isinstance(workload, Workload):
+        get_protocol(protocol)  # fail fast: ConfigError on unknown names
+    if isinstance(workload, Workload) or factory is not None:
         if cache:
             raise ConfigError(
                 "simulate(cache=...) requires a registry-named workload: "
                 "Workload instances bypass the sweep engine and have no "
                 "stable cache identity, so the flag cannot be honored. "
                 "Pass the workload's registry name, or drop cache.")
-        return Simulator(config, protocol, scheduler=scheduler,
-                         trace_path=trace_path, tracer=tracer).run(workload)
+        if not isinstance(workload, Workload):
+            workload = build_workload(workload, config)
+        return Simulator(config, factory or protocol, scheduler=scheduler,
+                         trace_path=trace_path,
+                         tracer=tracer).run(workload)
     spec = SweepSpec(workloads=(workload,), protocols=(protocol,),
                      configs=(config,), scheduler=scheduler,
                      trace_path=trace_path)

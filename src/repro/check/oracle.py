@@ -40,9 +40,12 @@ from repro.workloads.suite import WORKLOAD_NAMES, build_workload
 #: reference, batched run path, memoized run path).
 DEFAULT_TRACE_PATHS: Tuple[TracePath, ...] = tuple(TracePath)
 
-#: The tentpole's protocol matrix: the paper's three head-to-head
-#: designs. Any registry name is accepted via ``--protocols``.
-DEFAULT_PROTOCOLS: Tuple[str, ...] = ("baseline", "hmg", "cpelide")
+#: The oracle's protocol matrix: the paper's three head-to-head designs
+#: plus the timestamp/lease protocol and the CPElide-timestamp hybrid
+#: ({line,run,memo} x 5 protocols x 8 workloads = 120 cells). Any
+#: registry name is accepted via ``--protocols``.
+DEFAULT_PROTOCOLS: Tuple[str, ...] = (
+    "baseline", "hmg", "cpelide", "timestamp", "cpelide-ts")
 
 #: Cap on reported diff lines per divergence (full dicts can differ in
 #: thousands of leaves once one kernel diverges; the first few localize

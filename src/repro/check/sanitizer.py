@@ -20,6 +20,14 @@ invariants CPElide is built on, at cache-line granularity:
 * **HMG directory consistency** — a remotely-cached line's home
   directory lists the cacher as a sharer, and write-through L2s are
   never dirty.
+* **Lease exactness** (timestamp protocols) — the lease ledger tracks
+  exactly the resident L2 lines, no lease or write-stamp postdates the
+  epoch clock, and a line's home copy is never older than its latest
+  write. Additionally, a per-serve observer asserts that every read a
+  lease validates comes from a copy filled at or after the line's
+  latest write stamp and within its lease — the "no read from a copy
+  that predates the latest remote write" guarantee, recomputed from the
+  ledger primitives independently of the protocol's serve decision.
 * **Run-end flush completeness** — a whole-cache release executed at
   run end leaves its L2 with zero dirty lines.
 
@@ -100,6 +108,13 @@ class SyncSanitizer:
         self.table = getattr(protocol, "table", None)
         #: HMG-family protocols expose per-home L2 directories.
         self.directories = getattr(protocol, "directories", None)
+        #: Timestamp-family protocols expose the lease ledger; when
+        #: present, hook the per-serve observer (which also disables the
+        #: protocols' bulk fast paths — bit-identical by the batched
+        #: equivalence invariant, so checked runs stay comparable).
+        self.leases = getattr(protocol, "leases", None)
+        if self.leases is not None:
+            protocol.lease_observer = self._observe_lease_serve
         #: Kernel boundaries fully checked (meta-tests assert coverage).
         self.kernels_checked = 0
         self._pre_rows: Optional[List[_RowSnap]] = None
@@ -164,6 +179,12 @@ class SyncSanitizer:
                         rng = region.chiplet_ranges.get(holder)
                         if rng is not None and ranges_overlap(held, rng):
                             want_acquire.add(holder)
+
+        if getattr(self.protocol, "lease_acquires", False):
+            # Lease-hybrid protocols replace acquire-side invalidation
+            # with self-invalidating leases: the table may mandate
+            # acquires, but the launch must drop every one of them.
+            want_acquire.clear()
 
         got_release: Set[int] = set()
         got_acquire: Set[int] = set()
@@ -230,6 +251,8 @@ class SyncSanitizer:
             self._check_hmg_lines(packet)
         else:
             self._check_home_lines(packet)
+        if self.leases is not None:
+            self._check_lease_state(packet)
         self.kernels_checked += 1
 
     def _check_home_lines(self, packet) -> None:
@@ -308,6 +331,78 @@ class SyncSanitizer:
                         f"{line} is cached remotely in chiplet {chiplet} "
                         f"but home {home}'s directory does not list it as "
                         f"a sharer — a store would fail to invalidate it")
+
+    def _check_lease_state(self, packet) -> None:
+        """Timestamp protocols: the lease ledger must mirror the caches
+        exactly (every resident line leased, every lease resident), no
+        bookkeeping may postdate the epoch clock, and a line cached at
+        its *home* chiplet must be at least as new as the line's latest
+        write stamp (the home-always-fresh invariant both protocols'
+        remote-serve paths rely on)."""
+        leases = self.leases
+        device = self.device
+        peek = device.home_map.peek_home_of_line
+        clock = leases.clock
+        for chiplet, l2 in enumerate(device.l2s):
+            resident = {line for line, _dirty in l2.iter_lines()}
+            leased = set(leases.fills[chiplet])
+            if resident != leased:
+                self._fail(
+                    "lease-residency-drift",
+                    f"kernel {packet.kernel_id} ({packet.name}): chiplet "
+                    f"{chiplet} leases drifted from its L2 contents "
+                    f"(leased-not-resident="
+                    f"{sorted(leased - resident)[:8]}, "
+                    f"resident-not-leased="
+                    f"{sorted(resident - leased)[:8]})")
+            for line, fill in leases.fills[chiplet].items():
+                if fill > clock:
+                    self._fail(
+                        "lease-from-the-future",
+                        f"kernel {packet.kernel_id} ({packet.name}): line "
+                        f"{line} on chiplet {chiplet} was filled at epoch "
+                        f"{fill} > clock {clock}")
+                if (peek(line) == chiplet
+                        and fill < leases.stamps.get(line, fill)):
+                    self._fail(
+                        "stale-home-copy",
+                        f"kernel {packet.kernel_id} ({packet.name}): home "
+                        f"chiplet {chiplet}'s copy of line {line} (filled "
+                        f"at {fill}) predates the line's write stamp "
+                        f"{leases.stamps[line]} — a write bypassed the "
+                        f"home L2")
+        for line, stamp in leases.stamps.items():
+            if stamp > clock:
+                self._fail(
+                    "stamp-from-the-future",
+                    f"kernel {packet.kernel_id} ({packet.name}): line "
+                    f"{line} carries write stamp {stamp} > clock {clock}")
+
+    def _observe_lease_serve(self, chiplet: int, line: int) -> None:
+        """Per-serve invariant, recomputed from the ledger primitives:
+        a lease-validated read must come from a copy that is leased,
+        unexpired, and filled at or after the line's latest write stamp
+        (no read may ever observe a copy predating a remote write)."""
+        leases = self.leases
+        fill = leases.fills[chiplet].get(line)
+        if fill is None:
+            self._fail(
+                "lease-serve-unleased",
+                f"chiplet {chiplet} served line {line} from its L2 "
+                f"without holding a lease on it")
+        if leases.clock - fill >= leases.lease:
+            self._fail(
+                "lease-expired-serve",
+                f"chiplet {chiplet} served line {line} from a copy "
+                f"filled at epoch {fill}, expired since epoch "
+                f"{fill + leases.lease} (clock {leases.clock})")
+        stamp = leases.stamps.get(line)
+        if stamp is not None and fill < stamp:
+            self._fail(
+                "lease-stale-serve",
+                f"chiplet {chiplet} served line {line} from a copy "
+                f"filled at epoch {fill} that predates the line's write "
+                f"stamp {stamp} — a stale read")
 
     # ------------------------------------------------------------------
     # Run-end hook

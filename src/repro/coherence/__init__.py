@@ -1,6 +1,6 @@
 """Coherence protocols for the chiplet-based GPU (Sec. IV-C).
 
-Three evaluated configurations plus two extras:
+The paper's three evaluated configurations plus the extras:
 
 * ``baseline`` — gem5's VIPER GPU coherence protocol extended for
   chiplet GPUs: remote requests forward to the home node, remote stores
@@ -16,19 +16,51 @@ Three evaluated configurations plus two extras:
   in the paper).
 * ``monolithic`` — the infeasible monolithic GPU of Fig. 2 (single
   chiplet; the L2 is the shared point, so no L2-level implicit sync).
+* ``timestamp`` — HALCONE-style timestamp/lease coherence: cached
+  copies self-invalidate on lease expiry, writes stamp a global
+  write-timestamp for exact stale detection, no directory and no
+  acquire-side flushes.
+* ``cpelide-ts`` — the CPElide + timestamp hybrid: table-driven release
+  elision with lease-based self-invalidation replacing acquire-side
+  invalidates.
+
+The set is open: :mod:`repro.coherence.registry` holds the
+:class:`~repro.coherence.registry.ProtocolSpec` for each of the above,
+and :func:`~repro.coherence.registry.register_protocol` makes any new
+protocol simulatable, sweepable, and servable under its own name.
 """
 
 from repro.coherence.base import CoherenceProtocol, make_protocol, protocol_names
+from repro.coherence.registry import (
+    ProtocolSpec,
+    get_protocol,
+    protocols,
+    register_protocol,
+    unregister_protocol,
+)
 from repro.coherence.viper import BaselineProtocol, MonolithicProtocol
 from repro.coherence.cpelide import CPElideProtocol
 from repro.coherence.hmg import HMGProtocol
+from repro.coherence.timestamp import (
+    CPElideTimestampProtocol,
+    LeaseLedger,
+    TimestampProtocol,
+)
 
 __all__ = [
     "CoherenceProtocol",
+    "ProtocolSpec",
+    "get_protocol",
     "make_protocol",
     "protocol_names",
+    "protocols",
+    "register_protocol",
+    "unregister_protocol",
     "BaselineProtocol",
     "MonolithicProtocol",
     "CPElideProtocol",
+    "CPElideTimestampProtocol",
     "HMGProtocol",
+    "LeaseLedger",
+    "TimestampProtocol",
 ]

@@ -153,55 +153,10 @@ class CoherenceProtocol(abc.ABC):
         """Replay a :meth:`memo_counters_end` delta on a memo hit."""
 
 
-#: Lazily-populated protocol registry: name -> factory(config, device).
-#: Everything that needs the list of protocols (the CLIs, the sweep
-#: engine, the facade) derives it from here via :func:`protocol_names`,
-#: so registering a protocol in one place is enough.
-_REGISTRY: "dict[str, object]" = {}
-
-
-def _registry() -> "dict[str, object]":
-    """Build (once) and return the name -> factory table."""
-    if not _REGISTRY:
-        from repro.coherence.cpelide import (
-            CPElideProtocol,
-            DriverManagedCPElideProtocol,
-        )
-        from repro.coherence.hmg import HMGProtocol
-        from repro.coherence.viper import (
-            BaselineProtocol,
-            MonolithicProtocol,
-            NoSyncProtocol,
-        )
-
-        _REGISTRY.update({
-            "baseline": BaselineProtocol,
-            "nosync": NoSyncProtocol,
-            "cpelide": CPElideProtocol,
-            "cpelide-range": lambda config, device: CPElideProtocol(
-                config, device, range_ops=True),
-            "cpelide-driver": DriverManagedCPElideProtocol,
-            "hmg": lambda config, device: HMGProtocol(config, device,
-                                                      write_back=False),
-            "hmg-wb": lambda config, device: HMGProtocol(config, device,
-                                                         write_back=True),
-            "monolithic": MonolithicProtocol,
-        })
-    return _REGISTRY
-
-
-def protocol_names() -> "tuple[str, ...]":
-    """All registered protocol names, sorted (drives CLI choices)."""
-    return tuple(sorted(_registry()))
-
-
-def make_protocol(name: str, config: "GPUConfig",
-                  device: "Device") -> CoherenceProtocol:
-    """Instantiate a protocol by registry name."""
-    try:
-        factory = _registry()[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown protocol {name!r}; choose from {sorted(_registry())}"
-        ) from None
-    return factory(config, device)
+# Historical import location: the registry of
+# :class:`~repro.coherence.registry.ProtocolSpec`\ s is the single
+# source of truth since v4.0; these are the same callables.
+from repro.coherence.registry import (  # noqa: E402
+    make_protocol,
+    protocol_names,
+)

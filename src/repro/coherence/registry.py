@@ -1,0 +1,245 @@
+"""First-class protocol registry: :class:`ProtocolSpec` and friends.
+
+Protocols used to be bare strings resolved through a private dict in
+:mod:`repro.coherence.base`. The v4.0 API makes them first-class: a
+frozen :class:`ProtocolSpec` carries the registry name, the factory, a
+human-readable description, and the metadata clients need (does it use
+the CPElide coherence table? which :class:`~repro.gpu.config.GPUConfig`
+knobs does it read?). Everything that needs the protocol list — the
+CLIs, the sweep engine, the server's ``/v1/protocols`` endpoint, the
+:mod:`repro.api` facade — derives it from here, so registering a
+protocol in one place is enough to make it simulatable, sweepable,
+servable, and explorable.
+
+Unknown names raise :class:`~repro.errors.ConfigError` (which is also a
+``ValueError``, so pre-4.0 ``except ValueError`` callers keep working).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, Tuple
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.coherence.base import CoherenceProtocol
+    from repro.gpu.config import GPUConfig
+    from repro.gpu.device import Device
+
+__all__ = [
+    "ProtocolSpec",
+    "get_protocol",
+    "make_protocol",
+    "protocol_names",
+    "protocols",
+    "register_protocol",
+    "unregister_protocol",
+]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One registered coherence protocol.
+
+    Attributes:
+        name: Registry name — what CLIs, sweep specs, and server
+            requests use to select the protocol.
+        factory: ``factory(config, device) -> CoherenceProtocol``.
+        description: One-line human-readable summary (served by
+            ``GET /v1/protocols``).
+        requires_table: Whether the protocol builds a CPElide-style
+            Chiplet Coherence Table (and so responds to the table
+            sizing knobs).
+        knobs: Names of the :class:`~repro.gpu.config.GPUConfig` fields
+            the protocol's behavior is parameterized by, beyond the
+            shared machine configuration.
+    """
+
+    name: str
+    factory: Callable[["GPUConfig", "Device"], "CoherenceProtocol"]
+    description: str = ""
+    requires_table: bool = False
+    knobs: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigError(
+                f"ProtocolSpec.name must be a non-empty string, "
+                f"got {self.name!r}")
+        if not callable(self.factory):
+            raise ConfigError(
+                f"ProtocolSpec.factory must be callable, "
+                f"got {self.factory!r}")
+        object.__setattr__(self, "knobs", tuple(self.knobs))
+
+    def build(self, config: "GPUConfig",
+              device: "Device") -> "CoherenceProtocol":
+        """Instantiate the protocol for one simulation."""
+        return self.factory(config, device)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable summary (factory omitted — not a wire
+        object)."""
+        return {"name": self.name, "description": self.description,
+                "requires_table": bool(self.requires_table),
+                "knobs": list(self.knobs)}
+
+
+#: name -> ProtocolSpec. Lazily seeded with the builtins on first use so
+#: importing this module stays cheap and cycle-free.
+_SPECS: Dict[str, ProtocolSpec] = {}
+_BUILTINS_LOADED = False
+
+_TABLE_KNOBS = ("table_kernel_window", "table_structs_per_kernel")
+
+
+def _ensure_builtins() -> None:
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+
+    from repro.coherence.cpelide import (
+        CPElideProtocol,
+        DriverManagedCPElideProtocol,
+    )
+    from repro.coherence.hmg import HMGProtocol
+    from repro.coherence.timestamp import (
+        CPElideTimestampProtocol,
+        TimestampProtocol,
+    )
+    from repro.coherence.viper import (
+        BaselineProtocol,
+        MonolithicProtocol,
+        NoSyncProtocol,
+    )
+
+    for spec in (
+        ProtocolSpec(
+            name="baseline", factory=BaselineProtocol,
+            description="Software coherence (GPU VIPER-style): full "
+                        "acquire-invalidate and release-flush at every "
+                        "kernel boundary; remote lines forward to the "
+                        "home chiplet's L2."),
+        ProtocolSpec(
+            name="nosync", factory=NoSyncProtocol,
+            description="No kernel-boundary synchronization at all — "
+                        "the (incorrect) performance upper bound."),
+        ProtocolSpec(
+            name="cpelide", factory=CPElideProtocol,
+            description="CPElide: the Chiplet Coherence Table tracks "
+                        "per-chiplet dirty/stale state and elides the "
+                        "implicit acquires/releases that cannot be "
+                        "observed.",
+            requires_table=True, knobs=_TABLE_KNOBS),
+        ProtocolSpec(
+            name="cpelide-range",
+            factory=lambda config, device: CPElideProtocol(
+                config, device, range_ops=True),
+            description="CPElide issuing per-address-range sync ops "
+                        "instead of whole-cache flushes/invalidates.",
+            requires_table=True, knobs=_TABLE_KNOBS),
+        ProtocolSpec(
+            name="cpelide-driver", factory=DriverManagedCPElideProtocol,
+            description="CPElide managed by the host driver instead of "
+                        "the command processor (Sec. VI what-if): every "
+                        "table decision pays a host round trip.",
+            requires_table=True, knobs=_TABLE_KNOBS),
+        ProtocolSpec(
+            name="hmg",
+            factory=lambda config, device: HMGProtocol(
+                config, device, write_back=False),
+            description="HMG hierarchical coherence: write-through L2s "
+                        "with per-home sharer directories; remote "
+                        "fetches are cached locally."),
+        ProtocolSpec(
+            name="hmg-wb",
+            factory=lambda config, device: HMGProtocol(
+                config, device, write_back=True),
+            description="HMG variant with write-back L2s (dirty remote "
+                        "copies tracked by the home directory)."),
+        ProtocolSpec(
+            name="monolithic", factory=MonolithicProtocol,
+            description="Infeasible monolithic single-die GPU with the "
+                        "same aggregate resources (Fig. 2 reference)."),
+        ProtocolSpec(
+            name="timestamp", factory=TimestampProtocol,
+            description="HALCONE-style timestamp/lease coherence: L2 "
+                        "copies carry a lease and self-invalidate on "
+                        "expiry instead of acquire-side flushes; writes "
+                        "stamp a global write-timestamp so stale-read "
+                        "detection stays exact.",
+            knobs=("lease_kernels",)),
+        ProtocolSpec(
+            name="cpelide-ts", factory=CPElideTimestampProtocol,
+            description="CPElide + timestamp hybrid: table-driven "
+                        "release elision with lease-based "
+                        "self-invalidation replacing acquire-side "
+                        "invalidates.",
+            requires_table=True,
+            knobs=_TABLE_KNOBS + ("lease_kernels",)),
+    ):
+        _SPECS[spec.name] = spec
+
+
+def register_protocol(spec: ProtocolSpec, *, replace: bool = False) -> None:
+    """Register ``spec`` under ``spec.name``.
+
+    The protocol immediately becomes available to
+    :func:`repro.api.simulate`/:func:`~repro.api.sweep`, the CLI
+    choices, the server's admission schemas, and ``GET /v1/protocols``.
+    Raises :class:`~repro.errors.ConfigError` if the name is already
+    taken and ``replace`` is false.
+    """
+    if not isinstance(spec, ProtocolSpec):
+        raise ConfigError(
+            f"register_protocol expects a ProtocolSpec, got {spec!r}")
+    _ensure_builtins()
+    if spec.name in _SPECS and not replace:
+        raise ConfigError(
+            f"protocol {spec.name!r} is already registered; pass "
+            f"replace=True to override it")
+    _SPECS[spec.name] = spec
+
+
+def unregister_protocol(name: str) -> ProtocolSpec:
+    """Remove and return the spec registered as ``name`` (test/teardown
+    helper; raises :class:`~repro.errors.ConfigError` if unknown)."""
+    _ensure_builtins()
+    try:
+        return _SPECS.pop(name)
+    except KeyError:
+        raise ConfigError(
+            f"unknown protocol {name!r}; choose from "
+            f"{sorted(_SPECS)}") from None
+
+
+def protocols() -> Tuple[ProtocolSpec, ...]:
+    """All registered specs, sorted by name."""
+    _ensure_builtins()
+    return tuple(_SPECS[name] for name in sorted(_SPECS))
+
+
+def protocol_names() -> Tuple[str, ...]:
+    """All registered protocol names, sorted (drives CLI choices)."""
+    _ensure_builtins()
+    return tuple(sorted(_SPECS))
+
+
+def get_protocol(name: str) -> ProtocolSpec:
+    """Look up a spec by name; :class:`~repro.errors.ConfigError` if
+    unknown."""
+    _ensure_builtins()
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown protocol {name!r}; choose from "
+            f"{sorted(_SPECS)}") from None
+
+
+def make_protocol(name: str, config: "GPUConfig",
+                  device: "Device") -> "CoherenceProtocol":
+    """Instantiate a protocol by registry name."""
+    return get_protocol(name).build(config, device)

@@ -1,0 +1,566 @@
+"""Timestamp/lease coherence (HALCONE-style), plus the CPElide hybrid.
+
+HALCONE ("A Hardware-Level Timestamp-based Cache Coherence Scheme for
+Multi-GPU systems", PAPERS.md) replaces acquire-side bulk invalidation
+with *self-invalidation*: every cached line carries a lease, and a read
+whose lease has expired drops the copy and refetches instead of trusting
+it. No invalidation round trips, no sharer directory — the cost is the
+refetch traffic of expired-but-actually-fresh copies, which the lease
+length (``GPUConfig.lease_kernels``, in kernel epochs) trades against
+staleness exposure.
+
+Two protocols live here:
+
+* :class:`TimestampProtocol` (``timestamp``): write-through L2s that
+  cache remote fetches locally (like HMG) but with **no directory** —
+  leases bound how long any copy may be trusted, and every write stamps
+  a global per-line write-timestamp so a copy that predates the latest
+  write self-invalidates *exactly* (a ``stale`` refetch) even before its
+  lease runs out. Lease expiry is therefore a pure performance knob in
+  this model; the stamp check is what keeps reads correct.
+* :class:`CPElideTimestampProtocol` (``cpelide-ts``): keeps CPElide's
+  table-driven *release* elision and its forward-to-home write-back data
+  path, but drops every acquire-side invalidation the elision engine
+  would issue — cached home copies self-invalidate on lease expiry
+  instead. The Chiplet Coherence Table still tracks dirty data and
+  drives releases exactly as in ``cpelide``.
+
+Time base: the :class:`LeaseLedger` clock counts *kernel epochs* and
+ticks once per live :meth:`on_kernel_launch`. All behavior (expiry,
+staleness, memo digests) is a function of *ages* relative to that clock,
+never of absolute epochs — that is what lets the memo trace path share
+recorded kernel transitions across launch indices and lets a
+digest-unchanged memo hit leave the ledger untouched (no tick, no
+restore) while staying bit-identical to the line and run paths.
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+from typing import Callable, Dict, List, Optional
+
+from repro.coherence.base import CoherenceProtocol
+from repro.coherence.cpelide import CPElideProtocol
+from repro.cp.local_cp import SyncOp, SyncOpKind
+from repro.cp.packets import KernelPacket
+from repro.cp.wg_scheduler import Placement
+from repro.memory.cache import WritePolicy
+from repro.metrics.stats import SyncCounts
+
+__all__ = ["CPElideTimestampProtocol", "LeaseLedger", "TimestampProtocol"]
+
+
+class LeaseLedger:
+    """Per-chiplet lease bookkeeping plus the global write-timestamp map.
+
+    ``fills[c][line]`` is the epoch at which chiplet ``c``'s cached copy
+    of ``line`` was filled or last renewed; ``stamps[line]`` is the epoch
+    of the line's latest write anywhere on the device. A copy is invalid
+    when its *age* (``clock - fill``) has reached the lease, or — checked
+    only for un-expired copies — when a write stamped the line after the
+    copy's fill.
+
+    The check order (age first, stamp second) is load-bearing: canonical
+    snapshots cap ages at the lease and prune stamps older than it, so an
+    age-expired copy must report ``expiry`` no matter what the stamp map
+    says, or a memo-restored ledger could flip a counter reason.
+    """
+
+    def __init__(self, num_chiplets: int, lease: int) -> None:
+        self.lease = lease
+        self.clock = 0
+        self.fills: List[Dict[int, int]] = [{} for _ in range(num_chiplets)]
+        self.stamps: Dict[int, int] = {}
+
+    # ---- mutation -------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance one kernel epoch (live launches only — never on a
+        memo replay, where state jumps via :meth:`restore` instead)."""
+        self.clock += 1
+
+    def grant(self, chiplet: int, line: int) -> None:
+        """Lease (or renew) ``chiplet``'s copy of ``line`` at the
+        current epoch."""
+        self.fills[chiplet][line] = self.clock
+
+    def drop(self, chiplet: int, line: int) -> None:
+        """Forget ``chiplet``'s lease on ``line`` (eviction or
+        self-invalidation)."""
+        self.fills[chiplet].pop(line, None)
+
+    def stamp_write(self, line: int) -> None:
+        """Record a write to ``line`` at the current epoch."""
+        self.stamps[line] = self.clock
+
+    def renew_run(self, chiplet: int, start: int, count: int) -> None:
+        """Bulk :meth:`grant` for a run of consecutive lines."""
+        fills = self.fills[chiplet]
+        clock = self.clock
+        for line in range(start, start + count):
+            fills[line] = clock
+
+    # ---- validity -------------------------------------------------------
+
+    def invalid_reason(self, chiplet: int, line: int) -> Optional[str]:
+        """Why ``chiplet``'s copy of ``line`` must self-invalidate:
+        ``"expiry"``, ``"stale"``, or ``None`` (valid / not leased)."""
+        fill = self.fills[chiplet].get(line)
+        if fill is None:
+            return None
+        if self.clock - fill >= self.lease:
+            return "expiry"
+        if fill < self.stamps.get(line, fill):
+            return "stale"
+        return None
+
+    def run_valid(self, chiplet: int, start: int, count: int) -> bool:
+        """Whether every line of the run holds a currently-valid lease."""
+        fills = self.fills[chiplet]
+        stamps = self.stamps
+        clock = self.clock
+        lease = self.lease
+        for line in range(start, start + count):
+            fill = fills.get(line)
+            if (fill is None or clock - fill >= lease
+                    or fill < stamps.get(line, fill)):
+                return False
+        return True
+
+    # ---- memoization support --------------------------------------------
+
+    def canonical(self) -> tuple:
+        """Age-relative canonical form: per-chiplet sorted
+        ``(line, age)`` with ages capped at the lease (all expired copies
+        behave identically), and sorted ``(line, stamp_age)`` for stamps
+        younger than the lease (an older stamp is dead — any copy it
+        could invalidate is already age-expired). Translation-invariant,
+        so states at different absolute clocks compare equal whenever
+        they behave identically — the memo path's cross-launch-index
+        sharing and the oracle's path-independent fingerprints both rely
+        on this."""
+        clock = self.clock
+        lease = self.lease
+        fills = tuple(
+            tuple(sorted((line, min(clock - fill, lease))
+                         for line, fill in per_chiplet.items()))
+            for per_chiplet in self.fills)
+        stamps = tuple(sorted((line, clock - stamp)
+                              for line, stamp in self.stamps.items()
+                              if clock - stamp < lease))
+        return (fills, stamps)
+
+    def digest(self) -> bytes:
+        """128-bit digest of :meth:`canonical`."""
+        return blake2b(repr(self.canonical()).encode(),
+                       digest_size=16).digest()
+
+    def restore(self, snapshot: tuple) -> None:
+        """Rehydrate a :meth:`canonical` snapshot at the current clock
+        (ages become absolute epochs again; epochs may go negative early
+        in a run, which is harmless — only ages are ever compared)."""
+        fills_snap, stamps_snap = snapshot
+        clock = self.clock
+        self.fills = [{line: clock - age for line, age in per_chiplet}
+                      for per_chiplet in fills_snap]
+        self.stamps = {line: clock - age for line, age in stamps_snap}
+
+
+class TimestampProtocol(CoherenceProtocol):
+    """HALCONE-style lease coherence on write-through L2s.
+
+    Data path: remote fetches are cached locally *and* retained at the
+    line's home L2 (which, receiving every write-through, always holds
+    the freshest cached value and can serve remote requests without a
+    staleness check). No directory exists; nothing is ever invalidated
+    remotely. Instead each locally-cached copy self-invalidates at its
+    next access once its lease expires (``lease_expiries``) or once the
+    global write-stamp proves it stale (``lease_stale_refetches``).
+    """
+
+    name = "timestamp"
+    l2_policy = WritePolicy.WRITE_THROUGH
+    caches_remote_locally = True
+
+    def __init__(self, config, device) -> None:
+        super().__init__(config, device)
+        device.set_l2_policy(WritePolicy.WRITE_THROUGH)
+        self.leases = LeaseLedger(config.num_chiplets, config.lease_kernels)
+        self._sync = SyncCounts()
+        #: Sanitizer hook: called as ``observer(chiplet, line)`` for
+        #: every lease-validated local L2 serve (never read by protocol
+        #: logic). When set, the bulk fast path is disabled so every
+        #: serve is individually observable.
+        self.lease_observer: Optional[Callable[[int, int], None]] = None
+
+    # ---- kernel boundaries ----------------------------------------------
+
+    def on_kernel_launch(self, packet: KernelPacket,
+                         placement: Placement) -> List[SyncOp]:
+        """Advance the lease epoch; no acquire is ever issued."""
+        self.leases.tick()
+        return []
+
+    def on_kernel_complete(self, packet: KernelPacket,
+                           placement: Placement) -> List[SyncOp]:
+        """Writes already went through to home and memory."""
+        return []
+
+    def drain_sync_counts(self) -> SyncCounts:
+        """Harvest per-kernel self-invalidation counters."""
+        counts = self._sync
+        self._sync = SyncCounts()
+        return counts
+
+    # ---- demand access path ---------------------------------------------
+
+    def access(self, chiplet: int, line: int, is_write: bool) -> None:
+        device = self.device
+        home = device.home_of(line, chiplet)
+        device.traffic.l1_request()
+        device.traffic.l1_data()
+        if is_write:
+            self._store(chiplet, line, home)
+        else:
+            self._load(chiplet, line, home)
+
+    def access_run(self, chiplet: int, start: int, count: int,
+                   do_load: bool, do_store: bool) -> int:
+        """Bulk path: a pure-load run that is fully resident with every
+        lease valid is one aggregate hit-and-renew sweep; everything
+        else replays per line with homes hoisted and L1 traffic batched.
+        Bit-identical to the per-line sweep either way (renewing line
+        ``i`` never changes line ``j``'s validity, so checking the whole
+        run up front equals checking line by line)."""
+        device = self.device
+        end = start + count
+        home_map = device.home_map
+        if not do_store and self.lease_observer is None:
+            l2 = device.l2s[chiplet]
+            if (l2.run_fully_resident(start, count)
+                    and self.leases.run_valid(chiplet, start, count)):
+                device.traffic.l1_request(count)
+                device.traffic.l1_data(count)
+                local = sum(seg_end - seg_start
+                            for seg_start, seg_end, home
+                            in home_map.home_segments(start, end, chiplet)
+                            if home == chiplet)
+                res = l2.bulk_access(start=start, count=count,
+                                     load=True, store=False)
+                device.counts[chiplet].l2_local_hits += res.hits
+                self.leases.renew_run(chiplet, start, count)
+                return local
+        ops = count * (2 if do_load and do_store else 1)
+        device.traffic.l1_request(ops)
+        device.traffic.l1_data(ops)
+        local = 0
+        for seg_start, seg_end, home in home_map.home_segments(start, end,
+                                                               chiplet):
+            if home == chiplet:
+                local += seg_end - seg_start
+            if do_load and do_store:
+                for line in range(seg_start, seg_end):
+                    self._load(chiplet, line, home)
+                    self._store(chiplet, line, home)
+            elif do_store:
+                for line in range(seg_start, seg_end):
+                    self._store(chiplet, line, home)
+            else:
+                for line in range(seg_start, seg_end):
+                    self._load(chiplet, line, home)
+        return local
+
+    # ---- loads ----------------------------------------------------------
+
+    def _load(self, chiplet: int, line: int, home: int) -> None:
+        device = self.device
+        counts = device.counts[chiplet]
+        l2 = device.l2s[chiplet]
+        leases = self.leases
+        if line in leases.fills[chiplet]:
+            reason = leases.invalid_reason(chiplet, line)
+            if reason is None:
+                # Lease-validated local serve (guaranteed resident: the
+                # ledger tracks exactly the resident lines).
+                l2.access(line, is_write=False)
+                counts.l2_local_hits += 1
+                if self.lease_observer is not None:
+                    self.lease_observer(chiplet, line)
+                leases.grant(chiplet, line)
+                return
+            self._self_invalidate(chiplet, line, reason)
+        hit, evicted = l2.access(line, is_write=False)
+        self._absorb_eviction(chiplet, evicted)
+        leases.grant(chiplet, line)
+        if home == chiplet:
+            counts.l2_local_misses += 1
+            device.fetch_from_l3(chiplet, line)
+            return
+        device.traffic.remote_request()
+        device.traffic.remote_data()
+        home_l2 = device.l2s[home]
+        if home_l2.lookup(line):
+            # The home L2 absorbs every write-through, so its copy is
+            # always the freshest cached value — serving it needs no
+            # lease or stamp check (and does not renew the home's own
+            # lease: the home chiplet ages its copy on its own schedule).
+            counts.l2_remote_hits += 1
+        else:
+            counts.l2_remote_misses += 1
+            device.fetch_from_l3(chiplet, line)
+            home_evicted = home_l2.fill(line, dirty=False)
+            self._absorb_eviction(home, home_evicted)
+            leases.grant(home, line)
+
+    # ---- stores ---------------------------------------------------------
+
+    def _store(self, chiplet: int, line: int, home: int) -> None:
+        device = self.device
+        counts = device.counts[chiplet]
+        l2 = device.l2s[chiplet]
+        leases = self.leases
+        if line in leases.fills[chiplet]:
+            reason = leases.invalid_reason(chiplet, line)
+            if reason is not None:
+                self._self_invalidate(chiplet, line, reason)
+        hit, evicted = l2.access(line, is_write=True)
+        self._absorb_eviction(chiplet, evicted)
+        if hit:
+            counts.l2_local_hits += 1
+        else:
+            counts.l2_local_misses += 1
+        leases.grant(chiplet, line)
+        counts.l2_writethroughs += 1
+        if chiplet != home:
+            # Write-through to the home L2, which retains a valid copy
+            # stamped at this epoch (keeping home copies always-fresh).
+            device.traffic.remote_data()
+            home_evicted = device.l2s[home].fill(line, dirty=False)
+            self._absorb_eviction(home, home_evicted)
+            leases.grant(home, line)
+        leases.stamp_write(line)
+        device.l3_write(chiplet, line, through_to_dram=True)
+
+    # ---- self-invalidation ----------------------------------------------
+
+    def _self_invalidate(self, chiplet: int, line: int, reason: str) -> None:
+        present, dirty = self.device.l2s[chiplet].invalidate_line(line)
+        if dirty:
+            # Unreachable under WT; keep the model loss-free anyway.
+            self.device.writeback_line(chiplet, line)
+        self.leases.drop(chiplet, line)
+        if reason == "expiry":
+            self._sync.lease_expiries += 1
+        else:
+            self._sync.lease_stale_refetches += 1
+        tracer = self.device.tracer
+        if tracer.enabled:
+            tracer.lease_event(action=reason, chiplet=chiplet)
+
+    def _absorb_eviction(self, chiplet: int, evicted) -> None:
+        """A capacity eviction forfeits the victim's lease (WT victims
+        are never dirty; write back defensively if one ever is)."""
+        if evicted is None:
+            return
+        self.leases.drop(chiplet, evicted.line)
+        if evicted.dirty:
+            self.device.writeback_line(chiplet, evicted.line)
+
+    # ---- memoization support --------------------------------------------
+
+    def memo_digest(self) -> bytes:
+        """The lease ledger is the protocol's whole behavioral state
+        (``_sync`` drains to zero at every kernel boundary)."""
+        return self.leases.digest()
+
+    def memo_snapshot(self):
+        return self.leases.canonical()
+
+    def memo_restore(self, snapshot) -> None:
+        self.leases.restore(snapshot)
+
+
+class CPElideTimestampProtocol(CPElideProtocol):
+    """``cpelide-ts``: table-driven releases, lease-driven acquires.
+
+    Inherits CPElide wholesale — the Chiplet Coherence Table, the
+    elision engine, the launch overheads, the forward-to-home write-back
+    data path — then (a) filters every ACQUIRE the engine decides to
+    issue out of the launch ops (the engine still processes the launch,
+    so table state and release decisions match ``cpelide`` exactly), and
+    (b) bounds how long any cached home copy may be trusted with a
+    lease, self-invalidating expired copies at their next access. Under
+    forward-to-home routing every write either updates or invalidates
+    the home copy, so no cached copy is ever stale and the dropped
+    acquires are pure overhead savings; the write-stamp staleness check
+    is kept anyway (and asserted by the sanitizer) to pin that argument.
+    """
+
+    name = "cpelide-ts"
+    #: Sanitizer gate: acquire-side invalidation is replaced by lease
+    #: expiry, so issued-acquire op sets are expected to be empty.
+    lease_acquires = True
+
+    def __init__(self, config, device) -> None:
+        super().__init__(config, device)
+        self.leases = LeaseLedger(config.num_chiplets, config.lease_kernels)
+        self._sync = SyncCounts()
+        #: Sanitizer hook, as on :class:`TimestampProtocol` (here the
+        #: serving chiplet is the line's home).
+        self.lease_observer: Optional[Callable[[int, int], None]] = None
+
+    # ---- kernel boundaries ----------------------------------------------
+
+    def on_kernel_launch(self, packet: KernelPacket,
+                         placement: Placement) -> List[SyncOp]:
+        """Tick the lease epoch, run the table, drop every acquire."""
+        self.leases.tick()
+        ops = super().on_kernel_launch(packet, placement)
+        return [op for op in ops if op.kind is not SyncOpKind.ACQUIRE]
+
+    def drain_sync_counts(self) -> SyncCounts:
+        counts = self._sync
+        self._sync = SyncCounts()
+        return counts
+
+    # ---- demand access path ---------------------------------------------
+
+    def access(self, chiplet: int, line: int, is_write: bool) -> None:
+        """Baseline's forward-to-home routing with a lease check on the
+        home copy before every use.
+
+        Reimplemented rather than wrapped: the ledger must see every
+        fill and every eviction the home L2 performs, which
+        ``BaselineProtocol.access`` handles internally.
+        """
+        device = self.device
+        home = device.home_of(line, chiplet)
+        counts = device.counts[chiplet]
+        device.traffic.l1_request()
+        device.traffic.l1_data()
+        self._lease_check(home, line)
+        home_l2 = device.l2s[home]
+        leases = self.leases
+        if home == chiplet:
+            hit, evicted = home_l2.access(line, is_write)
+            if hit:
+                counts.l2_local_hits += 1
+                if not is_write and self.lease_observer is not None:
+                    self.lease_observer(home, line)
+            else:
+                counts.l2_local_misses += 1
+                device.fetch_from_l3(chiplet, line)
+            leases.grant(home, line)
+            if is_write:
+                leases.stamp_write(line)
+            self._absorb_home_eviction(home, evicted)
+            return
+        device.traffic.remote_request()
+        device.traffic.remote_data()
+        if is_write:
+            # Remote stores write through to the L3 and invalidate the
+            # home copy (Baseline semantics); the stamp records the
+            # write so the staleness check stays exact.
+            present, dirty = home_l2.invalidate_line(line)
+            if present:
+                counts.l2_remote_hits += 1
+                leases.drop(home, line)
+                if dirty:
+                    device.writeback_line(home, line)
+            else:
+                counts.l2_remote_misses += 1
+            counts.l2_writethroughs += 1
+            leases.stamp_write(line)
+            device.l3_write(chiplet, line)
+            return
+        hit, evicted = home_l2.access(line, is_write=False)
+        if hit:
+            counts.l2_remote_hits += 1
+            if self.lease_observer is not None:
+                self.lease_observer(home, line)
+        else:
+            counts.l2_remote_misses += 1
+            device.fetch_from_l3(chiplet, line)
+        leases.grant(home, line)
+        self._absorb_home_eviction(home, evicted)
+
+    def access_run(self, chiplet: int, start: int, count: int,
+                   do_load: bool, do_store: bool) -> int:
+        """Bulk path: per home segment, a pure-load run that is fully
+        resident at the home L2 with every lease valid is one aggregate
+        hit-and-renew sweep; anything else replays per line through
+        :meth:`access`. Bit-identical to the per-line sweep."""
+        device = self.device
+        segments = device.home_map.home_segments(start, start + count,
+                                                 chiplet)
+        leases = self.leases
+        local = 0
+        for seg_start, seg_end, home in segments:
+            n = seg_end - seg_start
+            if home == chiplet:
+                local += n
+            if (not do_store and self.lease_observer is None
+                    and device.l2s[home].run_fully_resident(seg_start, n)
+                    and leases.run_valid(home, seg_start, n)):
+                device.traffic.l1_request(n)
+                device.traffic.l1_data(n)
+                counts = device.counts[chiplet]
+                if home == chiplet:
+                    counts.l2_local_hits += n
+                else:
+                    device.traffic.remote_request(n)
+                    device.traffic.remote_data(n)
+                    counts.l2_remote_hits += n
+                device.l2s[home].bulk_access(start=seg_start, count=n,
+                                             load=True, store=False)
+                leases.renew_run(home, seg_start, n)
+            elif do_load and do_store:
+                for line in range(seg_start, seg_end):
+                    self.access(chiplet, line, is_write=False)
+                    self.access(chiplet, line, is_write=True)
+            else:
+                for line in range(seg_start, seg_end):
+                    self.access(chiplet, line, do_store)
+        return local
+
+    # ---- lease mechanics ------------------------------------------------
+
+    def _lease_check(self, home: int, line: int) -> None:
+        """Self-invalidate the home copy if its lease no longer covers
+        it (writing dirty data back first — an expired dirty line is an
+        early partial release, never a loss)."""
+        reason = self.leases.invalid_reason(home, line)
+        if reason is None:
+            return
+        present, dirty = self.device.l2s[home].invalidate_line(line)
+        if dirty:
+            self.device.writeback_line(home, line)
+        self.leases.drop(home, line)
+        if reason == "expiry":
+            self._sync.lease_expiries += 1
+        else:
+            self._sync.lease_stale_refetches += 1
+        tracer = self.device.tracer
+        if tracer.enabled:
+            tracer.lease_event(action=reason, chiplet=home)
+
+    def _absorb_home_eviction(self, home: int, evicted) -> None:
+        if evicted is None:
+            return
+        self.leases.drop(home, evicted.line)
+        if evicted.dirty:
+            self.device.writeback_line(home, evicted.line)
+
+    # ---- memoization support --------------------------------------------
+
+    def memo_digest(self) -> bytes:
+        return blake2b(self.table.memo_digest() + self.leases.digest(),
+                       digest_size=16).digest()
+
+    def memo_snapshot(self):
+        return (self.table.memo_snapshot(), self.leases.canonical())
+
+    def memo_restore(self, snapshot) -> None:
+        table_snap, lease_snap = snapshot
+        self.table.memo_restore(table_snap)
+        self.leases.restore(lease_snap)

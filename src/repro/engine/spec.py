@@ -88,6 +88,8 @@ class JobSpec:
                 "JobSpec.protocol must be a registry name (callable "
                 "protocol factories are not picklable/cacheable); got "
                 f"{self.protocol!r}")
+        from repro.coherence.registry import get_protocol
+        get_protocol(self.protocol)  # ConfigError before work is queued
 
     @property
     def label(self) -> str:

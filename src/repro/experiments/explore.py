@@ -52,9 +52,15 @@ QUICK_RUNGS = (1 / 64, 1 / 32)
 #: pipeline (backprop), irregular frontier (bfs), streaming (square).
 DEFAULT_SEED_WORKLOADS = ("hotspot", "backprop", "bfs", "square")
 
-#: Protocols evaluated per design point: the paper's mechanism and the
-#: implicit-sync baseline it is measured against.
+#: Default protocols evaluated per design point: the paper's mechanism
+#: and the implicit-sync baseline it is measured against. ``explore()``
+#: accepts any registry protocol via ``protocol=`` (``--protocol`` on
+#: the CLI) and measures it against the same baseline.
 EXPLORE_PROTOCOLS = ("baseline", "cpelide")
+
+#: Lease lengths searched when the lease axis is enabled (timestamp
+#: protocols read ``GPUConfig.lease_kernels``; ``--lease-kernels``).
+DEFAULT_LEASES = (2, 4, 8)
 
 #: Hardware-cost proxy constants, in CU-equivalent area units: one CU is
 #: the unit; 1 MB of L2 SRAM costs ~4 CU-equivalents; one Chiplet
@@ -71,15 +77,27 @@ KEEP_FRACTION = 0.5
 
 @dataclass(frozen=True)
 class DesignPoint:
-    """One candidate hardware configuration."""
+    """One candidate hardware configuration.
+
+    ``lease`` joins the search space when the swept protocol reads
+    ``GPUConfig.lease_kernels`` (the timestamp protocols); ``None``
+    leaves the config's lease untouched and the label unchanged. A lease
+    is a protocol time constant, not silicon, so it never contributes to
+    the area-cost proxy — points differing only in lease compete purely
+    on cycles.
+    """
 
     num_chiplets: int
     table_window: int
     l2_mb: int
+    lease: Optional[int] = None
 
     @property
     def label(self) -> str:
-        return f"c{self.num_chiplets}-w{self.table_window}-l2x{self.l2_mb}"
+        label = f"c{self.num_chiplets}-w{self.table_window}-l2x{self.l2_mb}"
+        if self.lease is not None:
+            label += f"-ls{self.lease}"
+        return label
 
     @property
     def table_entries(self) -> int:
@@ -96,15 +114,19 @@ class DesignPoint:
     def to_config(self, scale: float,
                   base: Optional[GPUConfig] = None) -> GPUConfig:
         base = base or GPUConfig()
-        return dataclasses.replace(
+        config = dataclasses.replace(
             base, num_chiplets=self.num_chiplets,
             table_kernel_window=self.table_window,
             l2_size=self.l2_mb * MB, scale=scale)
+        if self.lease is not None:
+            config = dataclasses.replace(config, lease_kernels=self.lease)
+        return config
 
     def to_dict(self) -> Dict[str, Any]:
         return {"num_chiplets": self.num_chiplets,
                 "table_window": self.table_window,
                 "l2_mb": self.l2_mb,
+                "lease": self.lease,
                 "table_entries": self.table_entries,
                 "cost": round(self.cost, 3),
                 "label": self.label}
@@ -115,8 +137,8 @@ class PointScore:
     """One design point's evaluation at one rung."""
 
     point: DesignPoint
-    cycles: float        # total CPElide cycles over the seed workloads
-    speedup: float       # baseline cycles / cpelide cycles
+    cycles: float        # measured-protocol cycles over the seed workloads
+    speedup: float       # baseline cycles / measured-protocol cycles
     elided: int          # sync ops elided across the seed workloads
 
     def dominates(self, other: "PointScore") -> bool:
@@ -158,10 +180,13 @@ class ExploreResult:
 
     rungs: List[RungReport]
     frontier: List[PointScore]
+    #: Registry name of the measured protocol (scored against baseline).
+    protocol: str = "cpelide"
 
     def to_dict(self) -> Dict[str, Any]:
         return {"rungs": [r.to_dict() for r in self.rungs],
-                "frontier": [s.to_dict() for s in self.frontier]}
+                "frontier": [s.to_dict() for s in self.frontier],
+                "protocol": self.protocol}
 
     def render(self) -> str:
         rows: List[List[object]] = []
@@ -182,7 +207,7 @@ class ExploreResult:
         pruned = sum(len(r.pruned) for r in self.rungs)
         table = format_table(
             ["point", "chiplets", "table", "L2 MB/chiplet", "cost",
-             "cpelide cycles", "vs baseline", "frontier"],
+             f"{self.protocol} cycles", "vs baseline", "frontier"],
             rows,
             title=(f"Pareto exploration: {len(self.rungs)} rungs, "
                    f"{evaluated} evaluations, {pruned} pruned, "
@@ -193,47 +218,60 @@ class ExploreResult:
 def design_points(
         chiplet_counts: Sequence[int] = DEFAULT_CHIPLET_COUNTS,
         table_windows: Sequence[int] = DEFAULT_TABLE_WINDOWS,
-        l2_mb: Sequence[int] = DEFAULT_L2_MB) -> List[DesignPoint]:
-    """The full cartesian candidate grid, in deterministic order."""
-    return [DesignPoint(num_chiplets=c, table_window=w, l2_mb=m)
-            for c in chiplet_counts for w in table_windows for m in l2_mb]
+        l2_mb: Sequence[int] = DEFAULT_L2_MB,
+        leases: Optional[Sequence[int]] = None) -> List[DesignPoint]:
+    """The full cartesian candidate grid, in deterministic order.
+
+    ``leases=None`` (the default) omits the lease axis entirely;
+    otherwise every point is crossed with each lease length.
+    """
+    if leases is None:
+        return [DesignPoint(num_chiplets=c, table_window=w, l2_mb=m)
+                for c in chiplet_counts for w in table_windows for m in l2_mb]
+    return [DesignPoint(num_chiplets=c, table_window=w, l2_mb=m, lease=ls)
+            for c in chiplet_counts for w in table_windows
+            for m in l2_mb for ls in leases]
 
 
 def seed_spec(points: Sequence[DesignPoint], scale: float,
               workloads: Sequence[str] = DEFAULT_SEED_WORKLOADS,
-              base: Optional[GPUConfig] = None) -> SweepSpec:
+              base: Optional[GPUConfig] = None,
+              protocols: Sequence[str] = EXPLORE_PROTOCOLS) -> SweepSpec:
     """One rung's sweep: every candidate config x seed workloads x
-    {baseline, cpelide}. Also the ``bench --sweep dist`` seed sweep."""
+    the measured protocols. Also the ``bench --sweep dist`` seed sweep."""
     configs = tuple(p.to_config(scale, base) for p in points)
     return SweepSpec(workloads=tuple(workloads),
-                     protocols=EXPLORE_PROTOCOLS, configs=configs)
+                     protocols=tuple(protocols), configs=configs)
 
 
 def _score_rung(points: Sequence[DesignPoint], scale: float,
                 workloads: Sequence[str], sweep: SweepResult,
-                base: Optional[GPUConfig]) -> List[PointScore]:
+                base: Optional[GPUConfig],
+                protocol: str = "cpelide") -> List[PointScore]:
     scores: List[PointScore] = []
     for point in points:
         config = point.to_config(scale, base)
-        base_cycles = cpe_cycles = 0.0
+        base_cycles = proto_cycles = 0.0
         elided = 0
         for workload in workloads:
             # Match by full config, not just chiplet count: two points
-            # can share a chiplet count but differ in L2/table.
+            # can share a chiplet count but differ in L2/table/lease.
             for outcome in sweep.outcomes:
                 if (outcome.workload == workload
                         and outcome.job.config == config):
-                    if outcome.job.protocol == "baseline":
-                        base_cycles += outcome.result.wall_cycles
-                    elif outcome.job.protocol == "cpelide":
+                    if outcome.job.protocol == protocol:
                         result = outcome.result
-                        cpe_cycles += result.wall_cycles
+                        proto_cycles += result.wall_cycles
                         sync = result.metrics.total_sync()
                         elided += (sync.acquires_elided
                                    + sync.releases_elided)
+                    elif outcome.job.protocol == "baseline":
+                        base_cycles += outcome.result.wall_cycles
+        if protocol == "baseline":
+            base_cycles = proto_cycles
         scores.append(PointScore(
-            point=point, cycles=cpe_cycles,
-            speedup=(base_cycles / cpe_cycles if cpe_cycles else 0.0),
+            point=point, cycles=proto_cycles,
+            speedup=(base_cycles / proto_cycles if proto_cycles else 0.0),
             elided=elided))
     return scores
 
@@ -268,14 +306,22 @@ def explore(chiplet_counts: Sequence[int] = DEFAULT_CHIPLET_COUNTS,
             cache: Union[bool, SharedResultCache, None] = True,
             base_config: Optional[GPUConfig] = None,
             progress=None,
-            tracer: Optional[Tracer] = None) -> ExploreResult:
+            tracer: Optional[Tracer] = None,
+            protocol: str = "cpelide",
+            leases: Optional[Sequence[int]] = None) -> ExploreResult:
     """Run the successive-halving Pareto search.
 
     ``workers`` sizes the distributed runner's pool per rung; ``cache``
     is the shared result cache (``True`` = the default cache root), so
-    repeated or concurrent explorations share cells. Returns the
-    :class:`ExploreResult` with the frontier of the final rung.
+    repeated or concurrent explorations share cells. ``protocol`` is the
+    measured mechanism — any registry name (api 4.0); it is swept next
+    to ``baseline`` and scored against it. ``leases`` adds the
+    ``GPUConfig.lease_kernels`` axis to the design space (meaningful for
+    the timestamp protocols). Returns the :class:`ExploreResult` with
+    the frontier of the final rung.
     """
+    from repro.coherence.registry import get_protocol
+    get_protocol(protocol)  # ConfigError on unknown names, up front
     if not rungs:
         raise ConfigError("explore() needs at least one fidelity rung")
     if isinstance(cache, SharedResultCache):
@@ -286,20 +332,25 @@ def explore(chiplet_counts: Sequence[int] = DEFAULT_CHIPLET_COUNTS,
         import tempfile
         shared = SharedResultCache(root=tempfile.mkdtemp(
             prefix="repro-explore-"))
-    points = design_points(chiplet_counts, table_windows, l2_mb)
+    points = design_points(chiplet_counts, table_windows, l2_mb, leases)
     if not points:
         raise ConfigError("explore() needs a non-empty design space")
+    protocols = (("baseline", protocol) if protocol != "baseline"
+                 else ("baseline",))
     rung_reports: List[RungReport] = []
     scores: List[PointScore] = []
     for rung_index, scale in enumerate(rungs):
         if progress is not None:
             progress(f"rung {rung_index}: {len(points)} points at scale "
-                     f"{scale:g} ({len(points) * len(workloads) * 2} cells)")
-        spec = seed_spec(points, scale, workloads, base_config)
+                     f"{scale:g} "
+                     f"({len(points) * len(workloads) * len(protocols)} "
+                     f"cells)")
+        spec = seed_spec(points, scale, workloads, base_config, protocols)
         runner = DistSweepRunner(workers=workers, cache=shared,
                                  progress=progress, tracer=tracer)
         sweep = runner.run(spec)
-        scores = _score_rung(points, scale, workloads, sweep, base_config)
+        scores = _score_rung(points, scale, workloads, sweep, base_config,
+                             protocol)
         frontier = pareto_frontier(scores)
         last = rung_index == len(rungs) - 1
         survivors = scores if last else _survivors(scores)
@@ -315,4 +366,5 @@ def explore(chiplet_counts: Sequence[int] = DEFAULT_CHIPLET_COUNTS,
                      f"pruned {len(pruned)}")
         points = [s.point for s in survivors]
     return ExploreResult(rungs=rung_reports,
-                         frontier=pareto_frontier(scores))
+                         frontier=pareto_frontier(scores),
+                         protocol=protocol)

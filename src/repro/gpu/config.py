@@ -112,6 +112,13 @@ class GPUConfig:
     #: studies (the Sec. V-C "aggregate L2 capacity is insufficient"
     #: exceptions).
     footprint_factor: float = 1.0
+    #: Lease length of the timestamp coherence protocols, in kernel
+    #: epochs: a line filled (or renewed) during kernel ``k`` may be
+    #: served locally until kernel ``k + lease_kernels`` launches, after
+    #: which the copy self-invalidates on its next access (HALCONE-style
+    #: self-invalidation instead of acquire-side flushes). ``0``
+    #: degenerates to no L2 caching under the timestamp protocols.
+    lease_kernels: int = 4
     #: Enable the :mod:`repro.check` sanitizer: coherence invariants are
     #: asserted at every kernel boundary (illegal table transitions,
     #: stale reads, untracked dirty lines, op sets diverging from table
@@ -126,6 +133,9 @@ class GPUConfig:
             raise ConfigError(f"num_chiplets must be positive, got {self.num_chiplets}")
         if not 0 < self.scale <= 1.0:
             raise ConfigError(f"scale must be in (0, 1], got {self.scale}")
+        if self.lease_kernels < 0:
+            raise ConfigError(
+                f"lease_kernels must be >= 0, got {self.lease_kernels}")
 
     # ---- derived quantities ---------------------------------------------
 

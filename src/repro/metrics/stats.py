@@ -99,6 +99,11 @@ class SyncCounts:
     dir_evictions: int = 0
     dir_invalidations: int = 0
     cp_messages: int = 0
+    #: Timestamp-protocol self-invalidations: copies dropped because
+    #: their lease aged out, and copies dropped because a remote write
+    #: stamped the line after the local fill (exact stale detection).
+    lease_expiries: int = 0
+    lease_stale_refetches: int = 0
 
     def merge(self, other: "SyncCounts") -> None:
         """Accumulate ``other`` into ``self``."""

@@ -41,7 +41,7 @@ class Event:
             clock (events at a kernel boundary carry the boundary's
             position; sweep-level events carry 0).
         kind: Event family (``run``, ``kernel``, ``sync``, ``table``,
-            ``access``, ``memo``, ``dir``, ``sweep``).
+            ``access``, ``memo``, ``dir``, ``lease``, ``sweep``).
         phase: Family-specific phase (``launch``, ``complete``,
             ``acquire``, ``insert``, …).
         args: Flat JSON-serializable payload.
@@ -131,6 +131,13 @@ class Tracer:
     def directory_event(self, *, action: str, chiplet: int,
                         sharers: int = 0) -> None:
         """HMG per-home directory activity (``evict``/``invalidate``)."""
+
+    # ---- timestamp leases -------------------------------------------------
+
+    def lease_event(self, *, action: str, chiplet: int) -> None:
+        """Timestamp-protocol self-invalidation (``expiry`` when the
+        lease aged out, ``stale`` when a newer remote write stamped the
+        line)."""
 
     # ---- sweep engine ----------------------------------------------------
 
@@ -336,6 +343,13 @@ class EventTracer(Tracer):
         self._scope().count(f"dir.{action}s")
         self._emit("dir", action, self._boundary_ts,
                    {"chiplet": chiplet, "sharers": sharers})
+
+    # ---- timestamp leases -------------------------------------------------
+
+    def lease_event(self, *, action: str, chiplet: int) -> None:
+        self._scope().count(f"lease.{action}s")
+        self._emit("lease", action, self._boundary_ts,
+                   {"chiplet": chiplet})
 
     # ---- sweep engine ----------------------------------------------------
 

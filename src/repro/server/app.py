@@ -141,6 +141,7 @@ class ReproServer:
          "_handle_events"),
         ("POST", re.compile(r"^/v1/jobs/(?P<job_id>[0-9a-f]+)/cancel$"),
          "_handle_cancel"),
+        ("GET", re.compile(r"^/v1/protocols$"), "_handle_protocols"),
         ("GET", re.compile(r"^/healthz$"), "_handle_health"),
         ("GET", re.compile(r"^/metrics$"), "_handle_metrics"),
     )
@@ -204,6 +205,15 @@ class ReproServer:
         return await self._submit(request, parse_sweep)
 
     # ---- inspection ------------------------------------------------------
+
+    async def _handle_protocols(self, request: Request) -> Response:
+        """The protocol registry, as clients may submit it: every
+        :class:`~repro.coherence.registry.ProtocolSpec` as name,
+        description, table requirement, and config knobs (api 4.0)."""
+        from repro.coherence.registry import protocols
+
+        return json_response(
+            {"protocols": [spec.to_dict() for spec in protocols()]})
 
     async def _handle_jobs(self, request: Request) -> Response:
         jobs: List[Dict[str, Any]] = [{

@@ -193,7 +193,7 @@ def _workload_choices() -> Tuple[str, ...]:
 
 
 def _protocol_choices() -> Tuple[str, ...]:
-    from repro.coherence.base import protocol_names
+    from repro.coherence.registry import protocol_names
     return tuple(protocol_names())
 
 

@@ -6,11 +6,15 @@ import pytest
 
 import repro
 from repro.api import (
+    ProtocolSpec,
     default_config,
-    protocol_names,
+    protocols,
+    register_protocol,
     simulate,
     sweep,
+    unregister_protocol,
 )
+from repro.coherence.registry import protocol_names
 from repro.gpu.config import GPUConfig
 from repro.gpu.sim import Simulator
 from repro.workloads.suite import WORKLOAD_NAMES, build_workload
@@ -79,8 +83,8 @@ class TestProtocolRegistry:
     def test_names_cover_the_paper_configurations(self):
         names = protocol_names()
         for expected in ("baseline", "cpelide", "cpelide-range",
-                         "cpelide-driver", "hmg", "hmg-wb", "nosync",
-                         "monolithic"):
+                         "cpelide-driver", "cpelide-ts", "hmg", "hmg-wb",
+                         "nosync", "monolithic", "timestamp"):
             assert expected in names
         assert list(names) == sorted(names)
 
@@ -94,6 +98,56 @@ class TestProtocolRegistry:
             protocol = make_protocol(name, config, Device(config))
             assert protocol is not None
 
+    def test_protocols_returns_frozen_specs(self):
+        specs = protocols()
+        assert [s.name for s in specs] == list(protocol_names())
+        for spec in specs:
+            assert spec.description
+            with pytest.raises(Exception):
+                spec.name = "mutated"  # frozen dataclass
+
+    def test_spec_to_dict_is_json_shaped(self):
+        spec = next(s for s in protocols() if s.name == "timestamp")
+        payload = spec.to_dict()
+        assert payload["name"] == "timestamp"
+        assert "lease_kernels" in payload["knobs"]
+
+    def test_register_and_unregister_round_trip(self, config2):
+        from repro.coherence.timestamp import TimestampProtocol
+
+        class LongLease(TimestampProtocol):
+            name = "test-long-lease"
+
+        spec = ProtocolSpec(name="test-long-lease", factory=LongLease,
+                            description="registration round-trip dummy")
+        register_protocol(spec)
+        try:
+            assert "test-long-lease" in protocol_names()
+            result = simulate("square", "test-long-lease", config=config2)
+            assert result.protocol == "test-long-lease"
+            # A ProtocolSpec may also be passed directly.
+            again = simulate("square", spec, config=config2)
+            assert again.to_dict() == result.to_dict()
+        finally:
+            unregister_protocol("test-long-lease")
+        assert "test-long-lease" not in protocol_names()
+
+    def test_duplicate_registration_requires_replace(self):
+        existing = next(s for s in protocols() if s.name == "cpelide")
+        with pytest.raises(repro.ConfigError):
+            register_protocol(existing)
+        register_protocol(existing, replace=True)  # idempotent
+
+    def test_unknown_protocol_raises_config_error(self, config2):
+        with pytest.raises(repro.ConfigError, match="no-such-proto"):
+            simulate("square", "no-such-proto", config=config2)
+
+    def test_protocol_names_shim_warns(self):
+        import repro.api as api
+        with pytest.warns(DeprecationWarning, match="protocol_names"):
+            shim = api.protocol_names
+        assert shim is protocol_names
+
 
 class TestTopLevelExports:
     def test_facade_reexported_from_package_root(self):
@@ -101,7 +155,12 @@ class TestTopLevelExports:
         assert repro.sweep is sweep
         assert repro.default_config is default_config
         assert repro.protocol_names is protocol_names
+        assert repro.protocols is protocols
+        assert repro.register_protocol is register_protocol
+        assert repro.ProtocolSpec is ProtocolSpec
         for name in ("SweepRunner", "SweepSpec", "SweepResult",
-                     "SweepReport", "ResultCache"):
+                     "SweepReport", "ResultCache", "ProtocolSpec",
+                     "protocols", "register_protocol",
+                     "TimestampProtocol", "CPElideTimestampProtocol"):
             assert hasattr(repro, name)
             assert name in repro.__all__

@@ -54,6 +54,21 @@ class TestDesignPoint:
     def test_to_dict_is_json_stable(self):
         payload = point().to_dict()
         assert json.loads(json.dumps(payload)) == payload
+        assert payload["lease"] is None
+
+    def test_lease_axis_crosses_the_grid(self):
+        points = design_points((2,), (4,), (4,), leases=(2, 8))
+        assert [p.label for p in points] == [
+            "c2-w4-l2x4-ls2", "c2-w4-l2x4-ls8"]
+        config = points[1].to_config(TEST_SCALE)
+        assert config.lease_kernels == 8
+
+    def test_lease_does_not_change_silicon_cost(self):
+        short = DesignPoint(num_chiplets=4, table_window=8, l2_mb=8,
+                            lease=2)
+        long = DesignPoint(num_chiplets=4, table_window=8, l2_mb=8,
+                           lease=16)
+        assert short.cost == long.cost == point().cost
 
 
 class TestDominance:
@@ -115,6 +130,23 @@ class TestExplore:
         assert "frontier" in rendered
         payload = result.to_dict()
         assert json.loads(json.dumps(payload)) == payload
+
+    def test_explore_rejects_unknown_protocol(self):
+        with pytest.raises(ConfigError, match="no-such-proto"):
+            explore(protocol="no-such-proto", rungs=(TEST_SCALE,))
+
+    def test_explore_over_a_registry_protocol_with_leases(self, tmp_path):
+        from repro.engine import SharedResultCache
+
+        cache = SharedResultCache(root=tmp_path / "c")
+        result = explore(chiplet_counts=(2,), table_windows=(4,),
+                         l2_mb=(4,), workloads=("square",),
+                         rungs=(TEST_SCALE,), workers=1, cache=cache,
+                         protocol="cpelide-ts", leases=(2, 8))
+        assert result.protocol == "cpelide-ts"
+        labels = {s.point.label for s in result.rungs[0].scores}
+        assert labels == {"c2-w4-l2x4-ls2", "c2-w4-l2x4-ls8"}
+        assert "cpelide-ts cycles" in result.render()
 
     def test_exploration_reuses_the_shared_cache(self, tmp_path):
         from repro.engine import SharedResultCache

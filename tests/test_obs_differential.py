@@ -17,7 +17,7 @@ from repro.workloads.suite import build_workload
 from tests.conftest import TEST_SCALE
 
 TRACE_PATHS = ("line", "run", "memo")
-PROTOCOLS = ("baseline", "hmg", "cpelide")
+PROTOCOLS = ("baseline", "hmg", "cpelide", "timestamp", "cpelide-ts")
 #: One pure-partitioned streaming workload, one iterative stencil (the
 #: memo path's replay regime).
 WORKLOADS = ("square", "hotspot")
